@@ -1,0 +1,81 @@
+// Command gblur runs the Gaussian blur study (§4.3) on a simulated device:
+// one variant, or the full five-variant ladder.
+//
+// Usage:
+//
+//	gblur [-device NAME] [-w W] [-h H] [-c C] [-f F] [-variant NAME|all] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"riscvmem/internal/kernels/blur"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/report"
+)
+
+func main() {
+	device := flag.String("device", "VisionFive", "device name")
+	w := flag.Int("w", 636, "image width (paper: 2544)")
+	h := flag.Int("h", 507, "image height (paper: 2027)")
+	c := flag.Int("c", 3, "channels")
+	f := flag.Int("f", 19, "odd filter size (paper: 19)")
+	variant := flag.String("variant", "all", "Naive, Unit-stride, 1D_kernels, Memory, Parallel or all")
+	verify := flag.Bool("verify", false, "verify against the reference convolution")
+	stats := flag.Bool("stats", false, "print memory-system counters per variant")
+	flag.Parse()
+
+	spec, err := machine.ByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gblur:", err)
+		os.Exit(1)
+	}
+	var variants []blur.Variant
+	for _, v := range blur.Variants() {
+		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
+			variants = append(variants, v)
+		}
+	}
+	if len(variants) == 0 {
+		fmt.Fprintf(os.Stderr, "gblur: unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	headers := []string{"Variant", "Seconds", "Speedup"}
+	if *stats {
+		headers = append(headers, "L1 miss", "TLB walks", "DRAM MiB", "PF fills")
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Gaussian blur, %d×%d×%d F=%d on %s", *w, *h, *c, *f, spec),
+		Headers: headers,
+	}
+	var naive float64
+	for _, v := range variants {
+		res, err := blur.Run(spec, blur.Config{W: *w, H: *h, C: *c, F: *f, Variant: v, Verify: *verify})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gblur:", err)
+			os.Exit(1)
+		}
+		if v == blur.Naive {
+			naive = res.Seconds
+		}
+		sp := "-"
+		if naive > 0 {
+			sp = strconv.FormatFloat(naive/res.Seconds, 'f', 2, 64) + "×"
+		}
+		row := []string{v.String(), fmt.Sprintf("%.6f", res.Seconds), sp}
+		if *stats {
+			row = append(row,
+				fmt.Sprintf("%.1f%%", 100*res.Mem.L1MissRate()),
+				strconv.FormatUint(res.Mem.TLBWalks, 10),
+				fmt.Sprintf("%.1f", float64(res.Mem.DRAMBytes)/(1<<20)),
+				strconv.FormatUint(res.Mem.PrefetchFills, 10))
+		}
+		tb.Add(row...)
+	}
+	tb.Render(os.Stdout)
+}

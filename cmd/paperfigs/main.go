@@ -1,0 +1,226 @@
+// Command paperfigs regenerates the paper's figures (1, 2, 3, 6, 7) on the
+// simulated devices and renders them as tables and ASCII bar charts, or CSV.
+//
+// Usage:
+//
+//	paperfigs [-fig all|1|2|3|6|7] [-scale N] [-full] [-verify] [-csv] [-device NAME]
+//
+// -scale divides the paper's workload sizes (default 8); -full is shorthand
+// for -scale 1, the paper's exact sizes (expect a long run). -device limits
+// the run to one machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"riscvmem/internal/core"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 6, 7, devices")
+	scale := flag.Int("scale", 8, "divide paper workload sizes by this factor")
+	full := flag.Bool("full", false, "paper-scale run (overrides -scale; slow)")
+	verify := flag.Bool("verify", false, "verify kernel results against references")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables/charts")
+	device := flag.String("device", "", "restrict to one device (Xeon, RaspberryPi4, VisionFive, MangoPi)")
+	flag.Parse()
+
+	opt := core.Options{Scale: *scale, Verify: *verify}
+	if *full {
+		opt.Scale = 1
+	}
+	if *device != "" {
+		spec, err := machine.ByName(*device)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Devices = []machine.Spec{spec}
+	}
+	s := core.NewSuite(opt)
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	if *fig == "devices" {
+		printDevices(opt)
+		return
+	}
+	if want("1") {
+		if err := fig1(s, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	var f2 []core.Fig2Row
+	if want("2") || want("3") {
+		var err error
+		if f2, err = s.Fig2(); err != nil {
+			fatal(err)
+		}
+	}
+	if want("2") {
+		fig2(s, f2, *csv)
+	}
+	if want("3") {
+		if err := fig3(s, f2, *csv); err != nil {
+			fatal(err)
+		}
+	}
+	var f6 []core.Fig6Row
+	if want("6") || want("7") {
+		var err error
+		if f6, err = s.Fig6(); err != nil {
+			fatal(err)
+		}
+	}
+	if want("6") {
+		fig6(s, f6, *csv)
+	}
+	if want("7") {
+		if err := fig7(s, f6, *csv); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperfigs:", err)
+	os.Exit(1)
+}
+
+func printDevices(opt core.Options) {
+	devs := opt.Devices
+	if len(devs) == 0 {
+		devs = machine.All()
+	}
+	t := report.Table{Title: "Devices (paper §3.1)", Headers: []string{"Name", "CPU", "Cores", "GHz", "RAM", "Peak DRAM"}}
+	for _, d := range devs {
+		t.Add(d.Name, d.CPU, strconv.Itoa(d.Cores),
+			fmt.Sprintf("%.1f", d.FreqGHz), fmt.Sprintf("%d MiB", d.RAMBytes>>20),
+			d.PeakDRAMBandwidth().String())
+	}
+	t.Render(os.Stdout)
+}
+
+func fig1(s *core.Suite, csv bool) error {
+	cells, err := s.Fig1()
+	if err != nil {
+		return err
+	}
+	if csv {
+		rows := make([][]string, 0, len(cells))
+		for _, c := range cells {
+			rows = append(rows, []string{c.Device, c.Level, c.Test.String(),
+				fmt.Sprintf("%.4f", c.BW.GBps())})
+		}
+		report.CSV(os.Stdout, []string{"device", "level", "test", "gbps"}, rows)
+		return nil
+	}
+	fmt.Println("=== Fig. 1: STREAM bandwidth per memory level (GB/s) ===")
+	ch := report.Chart{Unit: "GB/s", Width: 50, LogHint: true}
+	for _, c := range cells {
+		ch.Add(fmt.Sprintf("%s %s %s", c.Device, c.Level, c.Test), c.BW.GBps(), "")
+	}
+	ch.Render(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func fig2(s *core.Suite, rows []core.Fig2Row, csv bool) {
+	if csv {
+		out := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, []string{r.Device, strconv.Itoa(r.PaperN), strconv.Itoa(r.N),
+				r.Variant.String(), fmt.Sprintf("%.6f", r.Seconds),
+				fmt.Sprintf("%.3f", r.Speedup), strconv.FormatBool(r.Skipped)})
+		}
+		report.CSV(os.Stdout, []string{"device", "paper_n", "n", "variant", "seconds", "speedup", "skipped"}, out)
+		return
+	}
+	fmt.Printf("=== Fig. 2: matrix transposition time (simulated, N scaled %d×) ===\n", s.Options().Scale)
+	t := report.Table{Headers: []string{"Device", "Paper N", "Sim N", "Variant", "Seconds", "Speedup"}}
+	for _, r := range rows {
+		if r.Skipped {
+			t.Add(r.Device, strconv.Itoa(r.PaperN), "-", r.Variant.String(), "(matrix does not fit in RAM)", "-")
+			continue
+		}
+		t.Add(r.Device, strconv.Itoa(r.PaperN), strconv.Itoa(r.N), r.Variant.String(),
+			fmt.Sprintf("%.6f", r.Seconds), fmt.Sprintf("%.2f×", r.Speedup))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func fig3(s *core.Suite, f2 []core.Fig2Row, csv bool) error {
+	rows, err := s.Fig3(f2)
+	if err != nil {
+		return err
+	}
+	if csv {
+		out := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, []string{r.Device, strconv.Itoa(r.PaperN), r.Variant.String(),
+				fmt.Sprintf("%.4f", r.Utilization), strconv.FormatBool(r.Skipped)})
+		}
+		report.CSV(os.Stdout, []string{"device", "paper_n", "variant", "utilization", "skipped"}, out)
+		return nil
+	}
+	fmt.Println("=== Fig. 3: relative memory-bandwidth utilization (transpose) ===")
+	ch := report.Chart{Width: 50}
+	for _, r := range rows {
+		if r.Skipped {
+			continue
+		}
+		ch.Add(fmt.Sprintf("%s N=%d %s", r.Device, r.PaperN, r.Variant), r.Utilization, "")
+	}
+	ch.Render(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func fig6(s *core.Suite, rows []core.Fig6Row, csv bool) {
+	if csv {
+		out := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, []string{r.Device, r.Variant.String(),
+				fmt.Sprintf("%.6f", r.Seconds), fmt.Sprintf("%.3f", r.Speedup)})
+		}
+		report.CSV(os.Stdout, []string{"device", "variant", "seconds", "speedup"}, out)
+		return
+	}
+	w, hgt := core.PaperImageW/s.Options().Scale, core.PaperImageH/s.Options().Scale
+	fmt.Printf("=== Fig. 6: Gaussian blur time (%d×%d×%d image, F=%d) ===\n", w, hgt, core.PaperImageC, core.PaperFilter)
+	t := report.Table{Headers: []string{"Device", "Variant", "Seconds", "Speedup"}}
+	for _, r := range rows {
+		t.Add(r.Device, r.Variant.String(), fmt.Sprintf("%.6f", r.Seconds), fmt.Sprintf("%.2f×", r.Speedup))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func fig7(s *core.Suite, f6 []core.Fig6Row, csv bool) error {
+	rows, err := s.Fig7(f6)
+	if err != nil {
+		return err
+	}
+	if csv {
+		out := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, []string{r.Device, r.Variant.String(),
+				fmt.Sprintf("%.4f", r.Utilization), fmt.Sprintf("%.3f", r.ImprovementOver1D)})
+		}
+		report.CSV(os.Stdout, []string{"device", "variant", "utilization", "improvement_over_1d"}, out)
+		return nil
+	}
+	fmt.Println("=== Fig. 7: relative memory-bandwidth utilization (blur) ===")
+	ch := report.Chart{Width: 50}
+	for _, r := range rows {
+		ch.Add(fmt.Sprintf("%s %s", r.Device, r.Variant), r.Utilization,
+			fmt.Sprintf("%.2f× vs 1D", r.ImprovementOver1D))
+	}
+	ch.Render(os.Stdout)
+	fmt.Println()
+	return nil
+}

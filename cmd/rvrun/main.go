@@ -1,0 +1,88 @@
+// Command rvrun assembles and executes a RISC-V assembly file (RV64IMFD +
+// RVV subset) on a simulated device, reporting simulated time, retired
+// instructions, and final register state.
+//
+// Usage:
+//
+//	rvrun [-device NAME] [-mem BYTES] [-max N] [-regs] file.s
+//
+// The program's data segment base address is passed in a0; programs finish
+// with ecall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/riscv"
+	"riscvmem/internal/sim"
+)
+
+func main() {
+	device := flag.String("device", "MangoPi", "simulated device")
+	mem := flag.Int("mem", 1<<20, "data memory size in bytes")
+	maxInstr := flag.Uint64("max", 1<<30, "instruction budget")
+	regs := flag.Bool("regs", false, "dump integer and float registers on exit")
+	disasm := flag.Bool("disasm", false, "print the disassembled program and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvrun [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := machine.ByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := riscv.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		for _, line := range prog.DisassembleAll() {
+			fmt.Println(line)
+		}
+		return
+	}
+	m, err := sim.New(spec)
+	if err != nil {
+		fatal(err)
+	}
+	emu, err := riscv.NewEmulator(prog, m, *mem)
+	if err != nil {
+		fatal(err)
+	}
+	emu.X[10] = emu.MemBase // a0 = data segment
+	res, err := emu.Run(*maxInstr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("device:       %s\n", spec)
+	fmt.Printf("instructions: %d\n", emu.Executed)
+	fmt.Printf("cycles:       %.0f\n", res.Cycles)
+	fmt.Printf("time:         %.9fs (simulated)\n", res.Seconds(spec))
+	if *regs {
+		for i := 0; i < 32; i += 4 {
+			for j := i; j < i+4; j++ {
+				fmt.Printf("x%-2d %#018x  ", j, emu.X[j])
+			}
+			fmt.Println()
+		}
+		for i := 0; i < 32; i += 4 {
+			for j := i; j < i+4; j++ {
+				fmt.Printf("f%-2d %-18g ", j, emu.F[j])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvrun:", err)
+	os.Exit(1)
+}

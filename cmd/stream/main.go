@@ -1,0 +1,65 @@
+// Command stream runs the STREAM benchmark (§4.1) on one or all simulated
+// devices, per memory level, and prints achieved bandwidths.
+//
+// Usage:
+//
+//	stream [-device NAME] [-test COPY|SCALE|SUM|TRIAD|all] [-scale N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/report"
+)
+
+func main() {
+	device := flag.String("device", "", "device name; empty = all")
+	testName := flag.String("test", "all", "STREAM test: COPY, SCALE, SUM, TRIAD or all")
+	scale := flag.Int("scale", 8, "divide the DRAM working set by this factor")
+	reps := flag.Int("reps", 2, "timed repetitions (best kept)")
+	flag.Parse()
+
+	var devices []machine.Spec
+	if *device == "" {
+		devices = machine.All()
+	} else {
+		spec, err := machine.ByName(*device)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
+		}
+		devices = []machine.Spec{spec}
+	}
+	var tests []stream.Test
+	for _, t := range stream.Tests() {
+		if *testName == "all" || strings.EqualFold(*testName, t.String()) {
+			tests = append(tests, t)
+		}
+	}
+	if len(tests) == 0 {
+		fmt.Fprintf(os.Stderr, "stream: unknown test %q\n", *testName)
+		os.Exit(1)
+	}
+
+	tb := report.Table{Title: "STREAM bandwidth (simulated)", Headers: []string{"Device", "Level", "Test", "Bandwidth"}}
+	for _, spec := range devices {
+		for _, lv := range stream.Levels(spec, *scale) {
+			for _, t := range tests {
+				m, err := stream.Run(spec, stream.Config{
+					Test: t, Elems: lv.Elems, Cores: lv.Cores, Reps: *reps, ScaleBy: lv.ScaleBy,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "stream:", err)
+					os.Exit(1)
+				}
+				tb.Add(spec.Name, lv.Name, t.String(), m.Best.String())
+			}
+		}
+	}
+	tb.Render(os.Stdout)
+}

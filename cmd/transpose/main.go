@@ -1,0 +1,79 @@
+// Command transpose runs the in-place matrix transposition study (§4.2) on a
+// simulated device: one variant, or the full five-variant ladder.
+//
+// Usage:
+//
+//	transpose [-device NAME] [-n N] [-variant NAME|all] [-block B] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"riscvmem/internal/kernels/transpose"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/report"
+)
+
+func main() {
+	device := flag.String("device", "VisionFive", "device name")
+	n := flag.Int("n", 1024, "matrix dimension")
+	variant := flag.String("variant", "all", "Naive, Parallel, Blocking, Manual_blocking, Dynamic or all")
+	block := flag.Int("block", 0, "tile edge; 0 = auto (fits L1)")
+	verify := flag.Bool("verify", false, "verify the result matrix")
+	stats := flag.Bool("stats", false, "print memory-system counters per variant")
+	flag.Parse()
+
+	spec, err := machine.ByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transpose:", err)
+		os.Exit(1)
+	}
+	var variants []transpose.Variant
+	for _, v := range transpose.Variants() {
+		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
+			variants = append(variants, v)
+		}
+	}
+	if len(variants) == 0 {
+		fmt.Fprintf(os.Stderr, "transpose: unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	headers := []string{"Variant", "Seconds", "Speedup"}
+	if *stats {
+		headers = append(headers, "L1 miss", "TLB walks", "DRAM MiB", "PF fills")
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("In-place transposition, %d×%d doubles on %s", *n, *n, spec),
+		Headers: headers,
+	}
+	var naive float64
+	for _, v := range variants {
+		res, err := transpose.Run(spec, transpose.Config{N: *n, Variant: v, Block: *block, Verify: *verify})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "transpose:", err)
+			os.Exit(1)
+		}
+		if v == transpose.Naive {
+			naive = res.Seconds
+		}
+		sp := "-"
+		if naive > 0 {
+			sp = strconv.FormatFloat(naive/res.Seconds, 'f', 2, 64) + "×"
+		}
+		row := []string{v.String(), fmt.Sprintf("%.6f", res.Seconds), sp}
+		if *stats {
+			row = append(row,
+				fmt.Sprintf("%.1f%%", 100*res.Mem.L1MissRate()),
+				strconv.FormatUint(res.Mem.TLBWalks, 10),
+				fmt.Sprintf("%.1f", float64(res.Mem.DRAMBytes)/(1<<20)),
+				strconv.FormatUint(res.Mem.PrefetchFills, 10))
+		}
+		tb.Add(row...)
+	}
+	tb.Render(os.Stdout)
+}

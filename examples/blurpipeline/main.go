@@ -1,0 +1,41 @@
+// Blurpipeline: walk the paper's §4.3 optimization ladder for Gaussian blur
+// on every simulated device — naive 2D convolution, unit-stride access,
+// separable 1D kernels, memory-ordered passes, and row parallelism — and
+// print the per-device speedup table the paper's Fig. 6 summarizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riscvmem"
+)
+
+func main() {
+	// A quarter-scale version of the paper's 2544×2027×3 image, F = 19.
+	// Functional simulation of ~80M kernel taps per naive run: expect the
+	// full four-device ladder to take a couple of minutes.
+	cfg := riscvmem.BlurConfig{W: 636, H: 507, C: riscvmem.PaperImageC, F: riscvmem.PaperFilter}
+
+	fmt.Printf("Gaussian blur, %d×%d×%d image, filter %d×%d:\n\n", cfg.W, cfg.H, cfg.C, cfg.F, cfg.F)
+	for _, dev := range riscvmem.Devices() {
+		fmt.Println(dev)
+		var naive float64
+		for _, v := range riscvmem.BlurVariants() {
+			c := cfg
+			c.Variant = v
+			res, err := riscvmem.RunBlur(dev, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if v == riscvmem.BlurNaive {
+				naive = res.Seconds
+			}
+			fmt.Printf("  %-12s %9.4fs  (%.2f× vs naive)\n", v, res.Seconds, naive/res.Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper Fig. 6): Unit-stride helps everywhere except")
+	fmt.Println("the bandwidth-starved VisionFive; Memory is the big win and enjoys")
+	fmt.Println("compiler vectorization on Xeon/Pi; Parallel is channel-limited.")
+}

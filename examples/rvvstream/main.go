@@ -1,0 +1,117 @@
+// Rvvstream: STREAM TRIAD written in RISC-V assembly — scalar RV64IMFD vs
+// the RVV vector extension — executed on the simulated Allwinner D1 (XuanTie
+// C906, the paper's Mango Pi board).
+//
+// This is the reproduction's stand-in for the paper's §4.3 footnote: its
+// OpenCV comparison ran on "a Linux image that supports vector instructions",
+// the only place the study touched RVV. Go has no RVV intrinsics, so the
+// kernels here are assembled and emulated by internal/riscv against the very
+// same cache/TLB/prefetch/DRAM timing model the Go kernels use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riscvmem"
+	"riscvmem/internal/riscv"
+)
+
+const scalarTriad = `
+	# a0=&a, a1=&b, a2=&c, a3=n, fa0=d  —  a[i] = b[i] + d*c[i]
+loop:
+	beqz    a3, done
+	fld     fa1, 0(a1)
+	fld     fa2, 0(a2)
+	fmadd.d fa3, fa0, fa2, fa1
+	fsd     fa3, 0(a0)
+	addi    a0, a0, 8
+	addi    a1, a1, 8
+	addi    a2, a2, 8
+	addi    a3, a3, -1
+	j       loop
+done:
+	ecall
+`
+
+const vectorTriad = `
+	# a0=&a, a1=&b, a2=&c, a3=n, fa0=d  —  strip-mined RVV triad
+loop:
+	beqz      a3, done
+	vsetvli   t0, a3, e64, m1
+	vle64.v   v1, (a1)
+	vle64.v   v2, (a2)
+	vfmacc.vf v1, fa0, v2     # v1 = b + d*c
+	vse64.v   v1, (a0)
+	slli      t1, t0, 3
+	add       a0, a0, t1
+	add       a1, a1, t1
+	add       a2, a2, t1
+	sub       a3, a3, t0
+	j         loop
+done:
+	ecall
+`
+
+func runTriad(src string, n int) (gbps float64, checksum float64, instrs uint64) {
+	prog, err := riscv.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := riscvmem.NewMachine(riscvmem.MangoPiD1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	emu, err := riscv.NewEmulator(prog, m, (3*n+16)*8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := emu.MemBase
+	b := a + uint64(n*8)
+	c := b + uint64(n*8)
+	bs := make([]float64, n)
+	cs := make([]float64, n)
+	for i := range bs {
+		bs[i] = float64(i % 31)
+		cs[i] = float64(i % 17)
+	}
+	if err := emu.WriteF64(b, bs); err != nil {
+		log.Fatal(err)
+	}
+	if err := emu.WriteF64(c, cs); err != nil {
+		log.Fatal(err)
+	}
+	emu.X[10], emu.X[11], emu.X[12], emu.X[13] = a, b, c, uint64(n)
+	emu.F[10] = 3.0
+
+	res, err := emu.Run(1 << 28)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := emu.ReadF64(a, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range out {
+		if want := bs[i] + 3.0*cs[i]; v != want {
+			log.Fatalf("a[%d] = %v, want %v", i, v, want)
+		}
+		checksum += v
+	}
+	seconds := res.Seconds(riscvmem.MangoPiD1())
+	return 24 * float64(n) / seconds / 1e9, checksum, emu.Executed
+}
+
+func main() {
+	const n = 1 << 15 // 768 KiB footprint: far beyond the D1's 32 KiB L1
+	fmt.Printf("STREAM TRIAD on the simulated XuanTie C906 (Mango Pi), n=%d doubles:\n\n", n)
+	sb, sc, si := runTriad(scalarTriad, n)
+	vb, vc, vi := runTriad(vectorTriad, n)
+	fmt.Printf("  scalar RV64IMFD : %7.3f GB/s  (%9d instructions)\n", sb, si)
+	fmt.Printf("  RVV e64 (VLEN=128): %5.3f GB/s  (%9d instructions, %.1f× fewer)\n",
+		vb, vi, float64(si)/float64(vi))
+	fmt.Printf("\n  results verified identical (checksum %.1f == %.1f)\n", sc, vc)
+	fmt.Println("\nBoth versions are DRAM-bound on this board — vectorization shrinks")
+	fmt.Println("instruction count far more than runtime, the paper's core observation")
+	fmt.Println("that these kernels are limited by the memory subsystem, not the core.")
+}

@@ -1,0 +1,367 @@
+// Package cache implements a set-associative cache timing model.
+//
+// The model is structural, not functional: it tracks tags, validity, dirt and
+// recency so that hit/miss/writeback sequences are exact for a given access
+// stream, while the actual data payload lives elsewhere (the simulator keeps
+// kernel data in ordinary Go slices). Write-back and write-allocate policies
+// match the devices studied in the paper; replacement is pluggable because
+// the paper's devices differ exactly there (LRU-like on the C906 and the
+// x86/ARM parts, random replacement on the SiFive U74's L1 and L2).
+package cache
+
+import (
+	"fmt"
+
+	"riscvmem/internal/units"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU Policy = iota
+	// Random evicts a pseudo-randomly chosen way (deterministically seeded;
+	// the U74's "random re-placement policy" from the paper's §3.1).
+	Random
+	// FIFO evicts ways in insertion order.
+	FIFO
+	// PLRU is tree-based pseudo-LRU, the common hardware approximation.
+	PLRU
+)
+
+// String returns the conventional short name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "random"
+	case FIFO:
+		return "FIFO"
+	case PLRU:
+		return "PLRU"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string // e.g. "L1D", used in error and stats reporting
+	Size     int64  // total capacity in bytes
+	Ways     int    // associativity; Ways == Size/LineSize means fully associative
+	LineSize int64  // bytes per line
+	Policy   Policy
+	Seed     uint64 // PRNG seed for Random; ignored otherwise
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int64 { return c.Size / (int64(c.Ways) * c.LineSize) }
+
+// Validate checks the configuration for structural consistency.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: size, line size and ways must be positive", c.Name)
+	}
+	if !units.IsPow2(c.LineSize) {
+		return fmt.Errorf("cache %s: line size %d is not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%(int64(c.Ways)*c.LineSize) != 0 {
+		return fmt.Errorf("cache %s: size %d is not divisible by ways*line (%d*%d)",
+			c.Name, c.Size, c.Ways, c.LineSize)
+	}
+	if !units.IsPow2(c.Sets()) {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache instance.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+	Installs   uint64 // lines brought in (demand misses + explicit installs)
+}
+
+// Accesses returns the total number of demand accesses observed.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns hits/accesses, or 0 when no accesses were made.
+func (s Stats) HitRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+type line struct {
+	tag   uint64
+	used  uint64 // LRU timestamp / FIFO sequence
+	valid bool
+	dirty bool
+}
+
+type set struct {
+	lines []line
+	plru  uint64 // tree bits for PLRU
+	seq   uint64 // FIFO insertion counter
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg       Config
+	sets      []set
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	clock     uint64 // global recency counter
+	rng       uint64 // xorshift state for Random
+	Stats     Stats
+}
+
+// Result reports the outcome of a demand access.
+type Result struct {
+	Hit bool
+	// Evicted is the line-aligned byte address of the victim when a valid
+	// line was displaced by this access; EvictedValid reports whether a
+	// victim existed and EvictedDirty whether it requires a writeback.
+	Evicted      uint64
+	EvictedValid bool
+	EvictedDirty bool
+}
+
+// New builds a cache from cfg. It returns an error when cfg is inconsistent.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([]set, nsets),
+		lineShift: units.Log2(cfg.LineSize),
+		setShift:  units.Log2(nsets),
+		setMask:   uint64(nsets - 1),
+		rng:       cfg.Seed | 1, // xorshift state must be nonzero
+	}
+	for i := range c.sets {
+		c.sets[i].lines = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration errors; used for the fixed
+// device presets which are validated by tests.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineSize returns the cache line size in bytes.
+func (c *Cache) LineSize() int64 { return c.cfg.LineSize }
+
+// lineAddr maps a byte address to its line-aligned address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) locate(addr uint64) (idx int, tag uint64) {
+	ln := addr >> c.lineShift
+	return int(ln & c.setMask), ln >> c.setShift
+}
+
+// Access performs a demand read or write of the line containing addr,
+// allocating on miss (write-allocate) and reporting any eviction.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	idx, tag := c.locate(addr)
+	s := &c.sets[idx]
+	c.clock++
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == tag {
+			if c.cfg.Policy != FIFO { // FIFO ignores recency on hit
+				l.used = c.clock
+			}
+			if write {
+				l.dirty = true
+			}
+			c.touchPLRU(s, i)
+			c.Stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.Stats.Misses++
+	return c.install(idx, tag, write)
+}
+
+// Probe reports whether the line containing addr is present, without
+// changing any replacement state.
+func (c *Cache) Probe(addr uint64) bool {
+	idx, tag := c.locate(addr)
+	s := &c.sets[idx]
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Install brings the line containing addr into the cache without counting a
+// demand access (used for prefetch fills). It reports the eviction exactly
+// like Access. Installing an already-present line refreshes its recency.
+func (c *Cache) Install(addr uint64, dirty bool) Result {
+	idx, tag := c.locate(addr)
+	s := &c.sets[idx]
+	c.clock++
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == tag {
+			if c.cfg.Policy != FIFO {
+				l.used = c.clock
+			}
+			l.dirty = l.dirty || dirty
+			c.touchPLRU(s, i)
+			return Result{Hit: true}
+		}
+	}
+	return c.install(idx, tag, dirty)
+}
+
+// Invalidate drops the line containing addr if present, reporting whether it
+// was dirty (the caller owns the resulting writeback traffic).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	idx, tag := c.locate(addr)
+	s := &c.sets[idx]
+	for i := range s.lines {
+		l := &s.lines[i]
+		if l.valid && l.tag == tag {
+			l.valid = false
+			return true, l.dirty
+		}
+	}
+	return false, false
+}
+
+// Reset empties the cache and zeroes the statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			c.sets[i].lines[j] = line{}
+		}
+		c.sets[i].plru = 0
+		c.sets[i].seq = 0
+	}
+	c.clock = 0
+	c.rng = c.cfg.Seed | 1
+	c.Stats = Stats{}
+}
+
+// ValidLines counts currently valid lines (used by capacity invariant tests).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].lines {
+			if c.sets[i].lines[j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (c *Cache) install(idx int, tag uint64, dirty bool) Result {
+	s := &c.sets[idx]
+	victim := -1
+	for i := range s.lines {
+		if !s.lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	var res Result
+	if victim < 0 {
+		victim = c.pickVictim(s)
+		v := &s.lines[victim]
+		res.EvictedValid = true
+		res.EvictedDirty = v.dirty
+		res.Evicted = ((v.tag << c.setShift) | uint64(idx)) << c.lineShift
+		if v.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	s.seq++
+	s.lines[victim] = line{tag: tag, used: c.clock, valid: true, dirty: dirty}
+	if c.cfg.Policy == FIFO {
+		s.lines[victim].used = s.seq
+	}
+	c.touchPLRU(s, victim)
+	c.Stats.Installs++
+	return res
+}
+
+func (c *Cache) pickVictim(s *set) int {
+	switch c.cfg.Policy {
+	case Random:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(len(s.lines)))
+	case PLRU:
+		return plruVictim(s)
+	default: // LRU and FIFO both evict the minimum `used` stamp
+		victim, min := 0, s.lines[0].used
+		for i := 1; i < len(s.lines); i++ {
+			if s.lines[i].used < min {
+				victim, min = i, s.lines[i].used
+			}
+		}
+		return victim
+	}
+}
+
+// touchPLRU updates the PLRU tree bits so that `way` becomes protected.
+func (c *Cache) touchPLRU(s *set, way int) {
+	if c.cfg.Policy != PLRU {
+		return
+	}
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			s.plru |= 1 << uint(node) // point away: right
+			node = node * 2
+			hi = mid
+		} else {
+			s.plru &^= 1 << uint(node) // point away: left
+			node = node*2 + 1
+			lo = mid
+		}
+	}
+}
+
+// plruVictim walks the tree bits toward the unprotected leaf.
+func plruVictim(s *set) int {
+	n := len(s.lines)
+	node := 1
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.plru&(1<<uint(node)) != 0 {
+			// bit set means "left was recent": victim on the right
+			node = node*2 + 1
+			lo = mid
+		} else {
+			node = node * 2
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,440 @@
+// Package hier composes the cache, TLB, prefetch and DRAM models into a full
+// per-core memory hierarchy with shared outer levels.
+//
+// The hierarchy is the timing heart of the simulator. Every kernel load or
+// store resolves here into a cycle count, via three entry points split so the
+// discrete-event engine (internal/sim) can keep private-state operations
+// lock-free and serialize only the operations that touch shared state:
+//
+//   - Translate: the private TLB path (uTLB → L2 TLB → page walk).
+//   - L1Hit / TouchL1: a non-mutating L1 probe plus the hit-path update.
+//   - MissPath: everything past a private L1 miss — in-flight prefetch
+//     matching, shared L2/L3 lookups, DRAM queueing, write-back traffic and
+//     prefetch training/issue. Calls must be globally ordered by time across
+//     cores; the sim engine guarantees that.
+//
+// Inclusive caches, write-back + write-allocate everywhere, posted (non-
+// blocking) write-backs, and demand fills that lazily install prefetched
+// lines match the first-order behaviour of the paper's devices.
+package hier
+
+import (
+	"fmt"
+
+	"riscvmem/internal/cache"
+	"riscvmem/internal/dram"
+	"riscvmem/internal/prefetch"
+	"riscvmem/internal/tlb"
+)
+
+// Level describes one cache level beyond L1.
+type Level struct {
+	Cache     cache.Config
+	HitCycles float64 // access latency when this level serves the request
+	Shared    bool    // one instance for the whole machine vs per core
+}
+
+// Config assembles a device's memory system.
+type Config struct {
+	Cores    int
+	LineSize int64
+
+	L1          cache.Config
+	L1HitCycles float64 // per-access cost of an L1 hit (pipelined throughput)
+
+	L2 *Level // optional
+	L3 *Level // optional
+
+	UTLB        tlb.Config
+	JTLB        *tlb.Config // optional second-level TLB
+	JTLBPenalty float64     // added cycles on uTLB miss / JTLB hit
+	WalkLevels  int         // page-table depth (3 for Sv39)
+	WalkCycles  float64     // per-level cost of a page walk
+
+	DRAM dram.Config
+
+	// MissOverlap scales the exposed latency of the shared-path portion of a
+	// miss; 1.0 models a stalling in-order core, smaller values model the
+	// miss-level parallelism of out-of-order cores.
+	MissOverlap float64
+
+	// NewPrefetcher builds one data prefetcher per core; nil disables
+	// prefetching.
+	NewPrefetcher func() prefetch.Prefetcher
+
+	// MaxInflight caps concurrent outstanding fills per core (the MSHR
+	// count). It bounds single-core memory-level parallelism: effective
+	// streaming bandwidth ≈ MaxInflight × line / latency. 0 defaults to 8.
+	MaxInflight int
+}
+
+// Validate checks the composition.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("hier: cores must be positive")
+	}
+	if c.MissOverlap <= 0 || c.MissOverlap > 1 {
+		return fmt.Errorf("hier: miss overlap %v outside (0,1]", c.MissOverlap)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if c.L1.LineSize != c.LineSize {
+		return fmt.Errorf("hier: L1 line size %d != hierarchy line size %d", c.L1.LineSize, c.LineSize)
+	}
+	for _, lv := range []*Level{c.L2, c.L3} {
+		if lv == nil {
+			continue
+		}
+		if err := lv.Cache.Validate(); err != nil {
+			return err
+		}
+		if lv.Cache.LineSize != c.LineSize {
+			return fmt.Errorf("hier: %s line size mismatch", lv.Cache.Name)
+		}
+	}
+	if c.L3 != nil && c.L2 == nil {
+		return fmt.Errorf("hier: L3 configured without L2")
+	}
+	if err := c.UTLB.Validate(); err != nil {
+		return err
+	}
+	if c.JTLB != nil {
+		if err := c.JTLB.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.DRAM.LineBytes != c.LineSize {
+		return fmt.Errorf("hier: DRAM line bytes %d != line size %d", c.DRAM.LineBytes, c.LineSize)
+	}
+	return nil
+}
+
+// fill is one outstanding (MSHR-tracked) line fill.
+type fill struct {
+	line  uint64
+	ready float64
+}
+
+type coreState struct {
+	l1     *cache.Cache
+	utlb   *tlb.TLB
+	jtlb   *tlb.TLB // nil when absent
+	walker tlb.Walker
+	pref   prefetch.Prefetcher // nil when absent
+	// inflight holds outstanding prefetch fills in issue order. It is a
+	// small slice (bounded by MaxInflight) rather than a map: the MSHR
+	// file is scanned on every miss, and insertion order keeps retirement
+	// deterministic.
+	inflight []fill
+	buf      []uint64 // scratch for prefetch candidates
+}
+
+// Hierarchy is the runtime state for one machine.
+type Hierarchy struct {
+	cfg   Config
+	dramM *dram.Model
+	l2    []*cache.Cache // len 1 when shared, else len Cores
+	l3    []*cache.Cache
+	per   []coreState
+
+	// PrefetchFills counts lines actually fetched by prefetchers (after
+	// residency filtering); used by the ablation benchmarks.
+	PrefetchFills uint64
+}
+
+// New builds a hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, dramM: dram.MustNew(cfg.DRAM)}
+	mkLevel := func(lv *Level) []*cache.Cache {
+		if lv == nil {
+			return nil
+		}
+		n := cfg.Cores
+		if lv.Shared {
+			n = 1
+		}
+		cs := make([]*cache.Cache, n)
+		for i := range cs {
+			c := lv.Cache
+			c.Seed += uint64(i) // decorrelate random replacement across cores
+			cs[i] = cache.MustNew(c)
+		}
+		return cs
+	}
+	h.l2 = mkLevel(cfg.L2)
+	h.l3 = mkLevel(cfg.L3)
+	h.per = make([]coreState, cfg.Cores)
+	for i := range h.per {
+		l1 := cfg.L1
+		l1.Seed += uint64(i)
+		st := coreState{
+			l1:     cache.MustNew(l1),
+			utlb:   tlb.MustNew(cfg.UTLB),
+			walker: tlb.Walker{Levels: cfg.WalkLevels, CyclesPerLevel: cfg.WalkCycles},
+		}
+		if cfg.JTLB != nil {
+			st.jtlb = tlb.MustNew(*cfg.JTLB)
+		}
+		if cfg.NewPrefetcher != nil {
+			st.pref = cfg.NewPrefetcher()
+		}
+		h.per[i] = st
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on error; used by validated device presets.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the construction configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// LineSize returns the machine's cache line size.
+func (h *Hierarchy) LineSize() int64 { return h.cfg.LineSize }
+
+// DRAM exposes the memory model (for bandwidth statistics).
+func (h *Hierarchy) DRAM() *dram.Model { return h.dramM }
+
+// L1Stats returns the L1 statistics of one core.
+func (h *Hierarchy) L1Stats(core int) cache.Stats { return h.per[core].l1.Stats }
+
+// TLBStats returns (uTLB stats, walk count) of one core.
+func (h *Hierarchy) TLBStats(core int) (tlb.Stats, uint64) {
+	return h.per[core].utlb.Stats, h.per[core].walker.Walks
+}
+
+func (h *Hierarchy) l2For(core int) *cache.Cache {
+	if h.l2 == nil {
+		return nil
+	}
+	if len(h.l2) == 1 {
+		return h.l2[0]
+	}
+	return h.l2[core]
+}
+
+func (h *Hierarchy) l3For(core int) *cache.Cache {
+	if h.l3 == nil {
+		return nil
+	}
+	if len(h.l3) == 1 {
+		return h.l3[0]
+	}
+	return h.l3[core]
+}
+
+// SharedOnMiss reports whether an L1 miss on this machine touches globally
+// shared state (a shared L2/L3 or, always, DRAM). Single-core machines never
+// need cross-core ordering.
+func (h *Hierarchy) SharedOnMiss() bool { return h.cfg.Cores > 1 }
+
+// phys maps a virtual address to the simulated physical address used for
+// cache set indexing and DRAM channel interleave. Pages are scattered by a
+// bijective 64-bit mixer (the splitmix64 finalizer), modelling the OS's
+// arbitrary physical page allocation behind physically-indexed caches —
+// without it, power-of-two row strides (the 8192² matrix!) alias into a
+// handful of sets, a pathology real systems don't exhibit. Offsets within a
+// page are preserved; TLBs and prefetch training stay virtual.
+func (h *Hierarchy) phys(addr uint64) uint64 {
+	vpn := addr >> 12
+	off := addr & 4095
+	z := vpn + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z<<12 | off
+}
+
+// Translate charges the TLB path for a data access and returns its cycle
+// cost. All state touched is private to the core.
+func (h *Hierarchy) Translate(core int, addr uint64) float64 {
+	st := &h.per[core]
+	if st.utlb.Lookup(addr) {
+		return 0
+	}
+	if st.jtlb != nil && st.jtlb.Lookup(addr) {
+		st.utlb.Insert(addr)
+		return h.cfg.JTLBPenalty
+	}
+	cost := h.cfg.JTLBPenalty + st.walker.Walk()
+	st.utlb.Insert(addr)
+	if st.jtlb != nil {
+		st.jtlb.Insert(addr)
+	}
+	return cost
+}
+
+// L1Hit reports whether addr is resident in the core's L1 without mutating
+// replacement state.
+func (h *Hierarchy) L1Hit(core int, addr uint64) bool {
+	return h.per[core].l1.Probe(h.phys(addr))
+}
+
+// TouchL1 performs the L1 hit-path update (recency, dirty bit) for an access
+// already known to hit, returning its cycle cost.
+func (h *Hierarchy) TouchL1(core int, addr uint64, write bool) float64 {
+	h.per[core].l1.Access(h.phys(addr), write)
+	return h.cfg.L1HitCycles
+}
+
+// MissPath resolves an L1 miss at simulated time now and returns the access
+// completion time (before miss-overlap scaling, which the caller applies so
+// that it can also model vectorized access streams). Multi-core callers must
+// invoke MissPath in non-decreasing global time order.
+func (h *Hierarchy) MissPath(core int, now float64, addr uint64, write bool) float64 {
+	st := &h.per[core]
+	line := addr / uint64(h.cfg.LineSize) * uint64(h.cfg.LineSize)
+
+	// Count the demand miss in L1 stats and make room for the incoming
+	// line; the victim's write-back is posted down the hierarchy.
+	res := st.l1.Access(h.phys(addr), write)
+	if res.EvictedValid && res.EvictedDirty {
+		h.postWriteback(core, now, res.Evicted)
+	}
+
+	// Train the prefetcher on the demand-miss stream and issue fills.
+	if st.pref != nil {
+		st.buf = st.pref.Observe(line, st.buf[:0])
+		for _, cand := range st.buf {
+			h.issuePrefetch(core, now, cand)
+		}
+	}
+
+	// A fill already in flight (from a prefetch) satisfies the miss at its
+	// ready time.
+	for i := range st.inflight {
+		if st.inflight[i].line != line {
+			continue
+		}
+		done := st.inflight[i].ready
+		st.inflight = append(st.inflight[:i], st.inflight[i+1:]...)
+		if now > done {
+			done = now
+		}
+		return done + h.cfg.L1HitCycles
+	}
+
+	return h.fill(core, now, h.phys(line)) + h.cfg.L1HitCycles
+}
+
+// fill walks L2 → L3 → DRAM for the given *physical* line, installing it at
+// each level, and returns the time the line arrives at L1.
+func (h *Hierarchy) fill(core int, now float64, line uint64) float64 {
+	if l2 := h.l2For(core); l2 != nil {
+		r := l2.Access(line, false)
+		if r.Hit {
+			return now + h.cfg.L2.HitCycles
+		}
+		if r.EvictedValid && r.EvictedDirty {
+			h.dramM.Posted(now, r.Evicted, h.cfg.LineSize, true)
+		}
+		if l3 := h.l3For(core); l3 != nil {
+			r3 := l3.Access(line, false)
+			if r3.Hit {
+				return now + h.cfg.L2.HitCycles + h.cfg.L3.HitCycles
+			}
+			if r3.EvictedValid && r3.EvictedDirty {
+				h.dramM.Posted(now, r3.Evicted, h.cfg.LineSize, true)
+			}
+			return h.dramM.Request(now, line, h.cfg.LineSize, false) + h.cfg.L2.HitCycles + h.cfg.L3.HitCycles
+		}
+		return h.dramM.Request(now, line, h.cfg.LineSize, false) + h.cfg.L2.HitCycles
+	}
+	return h.dramM.Request(now, line, h.cfg.LineSize, false)
+}
+
+// issuePrefetch starts a fill for cand unless it is already resident in the
+// core's L1 or in flight. Prefetch fills consume real channel time — on a
+// bandwidth-starved device they can crowd out demand traffic, which is
+// exactly the VisionFive behaviour in the paper's Fig. 6 discussion.
+func (h *Hierarchy) issuePrefetch(core int, now float64, cand uint64) {
+	st := &h.per[core]
+	line := cand / uint64(h.cfg.LineSize) * uint64(h.cfg.LineSize)
+	for i := range st.inflight {
+		if st.inflight[i].line == line {
+			return
+		}
+	}
+	if st.l1.Probe(h.phys(line)) {
+		return
+	}
+	maxIn := h.cfg.MaxInflight
+	if maxIn <= 0 {
+		maxIn = 8
+	}
+	if len(st.inflight) >= maxIn {
+		// Retire fills that have landed — they install into L1 (in issue
+		// order, which is deterministic) and free their MSHR. If all slots
+		// are still busy, the prefetch is dropped.
+		kept := st.inflight[:0]
+		for _, f := range st.inflight {
+			if f.ready <= now {
+				if r := st.l1.Install(h.phys(f.line), false); r.EvictedValid && r.EvictedDirty {
+					h.postWriteback(core, now, r.Evicted)
+				}
+				continue
+			}
+			kept = append(kept, f)
+		}
+		st.inflight = kept
+		if len(st.inflight) >= maxIn {
+			return
+		}
+	}
+	st.inflight = append(st.inflight, fill{line: line, ready: h.fill(core, now, h.phys(line))})
+	h.PrefetchFills++
+}
+
+// postWriteback sends a dirty L1 victim down to the next level without
+// blocking the core.
+func (h *Hierarchy) postWriteback(core int, now float64, victim uint64) {
+	if l2 := h.l2For(core); l2 != nil {
+		r := l2.Install(victim, true)
+		if r.EvictedValid && r.EvictedDirty {
+			h.dramM.Posted(now, r.Evicted, h.cfg.LineSize, true)
+		}
+		return
+	}
+	h.dramM.Posted(now, victim, h.cfg.LineSize, true)
+}
+
+// MissOverlap returns the configured exposure factor for miss latency.
+func (h *Hierarchy) MissOverlap() float64 { return h.cfg.MissOverlap }
+
+// Reset restores all structural state (caches, TLBs, prefetchers, DRAM
+// queues) and statistics to power-on.
+func (h *Hierarchy) Reset() {
+	h.dramM.Reset()
+	for _, cs := range [][]*cache.Cache{h.l2, h.l3} {
+		for _, c := range cs {
+			c.Reset()
+		}
+	}
+	for i := range h.per {
+		st := &h.per[i]
+		st.l1.Reset()
+		st.utlb.Reset()
+		if st.jtlb != nil {
+			st.jtlb.Reset()
+		}
+		st.walker.Walks = 0
+		if st.pref != nil {
+			st.pref.Reset()
+		}
+		st.inflight = st.inflight[:0]
+	}
+	h.PrefetchFills = 0
+}

@@ -1,0 +1,249 @@
+// Package stream implements the STREAM memory-bandwidth benchmark (§4.1 of
+// the paper; McCalpin 1995) against the simulator.
+//
+// The four tests move different byte counts per iteration:
+//
+//	COPY   a[i] = b[i]            16 B/iter, 0 FLOP
+//	SCALE  a[i] = d·b[i]          16 B/iter, 1 FLOP
+//	SUM    a[i] = b[i] + c[i]     24 B/iter, 1 FLOP
+//	TRIAD  a[i] = b[i] + d·c[i]   24 B/iter, 2 FLOP
+//
+// Bandwidth is counted the STREAM way — bytes the *kernel* logically moves,
+// not the (larger) write-allocate traffic the hierarchy generates. Following
+// the paper's method, a measurement targets one memory level by sizing the
+// arrays to fit that level but not the faster ones, runs multi-threaded for
+// shared resources or sequential-×-cores for private ones, repeats, and
+// keeps the maximum.
+package stream
+
+import (
+	"fmt"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/sim"
+	"riscvmem/internal/units"
+)
+
+// Test is one of the four STREAM kernels.
+type Test int
+
+// The four STREAM tests.
+const (
+	Copy Test = iota
+	Scale
+	Sum
+	Triad
+)
+
+// Tests lists all four in the order STREAM reports them.
+func Tests() []Test { return []Test{Copy, Scale, Sum, Triad} }
+
+// String returns the STREAM name of the test.
+func (t Test) String() string {
+	switch t {
+	case Copy:
+		return "COPY"
+	case Scale:
+		return "SCALE"
+	case Sum:
+		return "SUM"
+	case Triad:
+		return "TRIAD"
+	}
+	return fmt.Sprintf("Test(%d)", int(t))
+}
+
+// BytesPerIter returns the bytes STREAM counts for one iteration.
+func (t Test) BytesPerIter() int64 {
+	if t == Sum || t == Triad {
+		return 24
+	}
+	return 16
+}
+
+// FlopsPerIter returns the floating-point operations per iteration.
+func (t Test) FlopsPerIter() int {
+	switch t {
+	case Copy:
+		return 0
+	case Triad:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Config describes one measurement.
+type Config struct {
+	Test Test
+	// Elems is the per-array element count (three arrays are allocated so
+	// SUM/TRIAD have their inputs).
+	Elems int
+	// Cores is the number of threads; 1 runs sequentially.
+	Cores int
+	// Reps is the number of timed repetitions; the best is kept. 0 → 3.
+	Reps int
+	// ScaleBy multiplies the reported bandwidth (the paper multiplies
+	// sequential per-core results by the core count for private levels).
+	// 0 → 1.
+	ScaleBy int
+}
+
+// Measurement is the outcome of one Run.
+type Measurement struct {
+	Config
+	Device string
+	// Best is the maximum bandwidth over the repetitions, scaled by ScaleBy.
+	Best units.BytesPerSec
+	// PerRep records each repetition's (unscaled) bandwidth.
+	PerRep []units.BytesPerSec
+	// Mem summarizes the machine's memory-system activity (all passes).
+	Mem sim.Summary
+}
+
+// Run executes one STREAM measurement on a fresh machine.
+func Run(spec machine.Spec, cfg Config) (Measurement, error) {
+	if cfg.Elems <= 0 {
+		return Measurement{}, fmt.Errorf("stream: non-positive array size %d", cfg.Elems)
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.ScaleBy <= 0 {
+		cfg.ScaleBy = 1
+	}
+	m, err := sim.New(spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	n := cfg.Elems
+	a, err := m.NewF64(n)
+	if err != nil {
+		return Measurement{}, err
+	}
+	b, err := m.NewF64(n)
+	if err != nil {
+		return Measurement{}, err
+	}
+	cArr, err := m.NewF64(n)
+	if err != nil {
+		return Measurement{}, err
+	}
+	for i := 0; i < n; i++ { // host-side init: untimed, like STREAM's setup
+		b.Data[i] = float64(i%97) * 0.5
+		cArr.Data[i] = float64(i%89) * 0.25
+	}
+	const d = 3.0
+
+	body := func(c *sim.Core, i int) {
+		// STREAM loops auto-vectorize on toolchains that support it; the
+		// flag is a no-op on the scalar RISC-V presets.
+		c.Vec = true
+		switch cfg.Test {
+		case Copy:
+			a.Store(c, i, b.Load(c, i))
+		case Scale:
+			a.Store(c, i, d*b.Load(c, i))
+			c.Flops(1)
+		case Sum:
+			a.Store(c, i, b.Load(c, i)+cArr.Load(c, i))
+			c.Flops(1)
+		case Triad:
+			a.Store(c, i, b.Load(c, i)+d*cArr.Load(c, i))
+			c.Flops(2)
+		}
+		c.IntOps(1)
+	}
+
+	meas := Measurement{Config: cfg, Device: spec.Name}
+	bytes := cfg.Test.BytesPerIter() * int64(n)
+	m.ParallelFor(cfg.Cores, n, sim.Static, 0, body) // warm-up pass (untimed)
+	for r := 0; r < cfg.Reps; r++ {
+		res := m.ParallelFor(cfg.Cores, n, sim.Static, 0, body)
+		bw := units.Bandwidth(bytes, res.Cycles, spec.FreqGHz)
+		meas.PerRep = append(meas.PerRep, bw)
+		if scaled := units.BytesPerSec(float64(bw) * float64(cfg.ScaleBy)); scaled > meas.Best {
+			meas.Best = scaled
+		}
+	}
+
+	// Functional spot-check: the simulator must have really computed the
+	// kernel (guards against timing-only regressions).
+	probe := n / 2
+	var want float64
+	switch cfg.Test {
+	case Copy:
+		want = b.Data[probe]
+	case Scale:
+		want = d * b.Data[probe]
+	case Sum:
+		want = b.Data[probe] + cArr.Data[probe]
+	case Triad:
+		want = b.Data[probe] + d*cArr.Data[probe]
+	}
+	if a.Data[probe] != want {
+		return Measurement{}, fmt.Errorf("stream: %v result corrupt: a[%d]=%v want %v",
+			cfg.Test, probe, a.Data[probe], want)
+	}
+	meas.Mem = m.Stats()
+	return meas, nil
+}
+
+// Level targets one memory level of a device, sized per the paper's method.
+type Level struct {
+	Name string
+	// Elems is the per-array element count.
+	Elems int
+	// Cores used for the measurement and the sequential-result multiplier.
+	Cores   int
+	ScaleBy int
+}
+
+// Levels derives the measurable memory levels of a device. scale divides
+// the DRAM working set (the cache-level sizes are fixed by the hardware
+// geometry and never scaled).
+func Levels(spec machine.Spec, scale int) []Level {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Level
+	// L1 is per-core: run sequentially, multiply by core count. Three
+	// arrays must fit: use 1/8 of capacity each.
+	l1 := spec.Mem.L1.Size / 8 / 8
+	out = append(out, Level{Name: "L1", Elems: int(l1), Cores: 1, ScaleBy: spec.Cores})
+
+	lastCap := spec.Mem.L1.Size
+	if spec.Mem.L2 != nil {
+		elems := spec.Mem.L2.Cache.Size / 4 / 8
+		lv := Level{Name: "L2", Elems: int(elems)}
+		if spec.Mem.L2.Shared {
+			lv.Cores, lv.ScaleBy = spec.Cores, 1
+		} else {
+			lv.Cores, lv.ScaleBy = 1, spec.Cores
+		}
+		out = append(out, lv)
+		lastCap = spec.Mem.L2.Cache.Size
+		if !spec.Mem.L2.Shared {
+			lastCap *= int64(spec.Cores)
+		}
+	}
+	if spec.Mem.L3 != nil {
+		elems := spec.Mem.L3.Cache.Size / 6 / 8
+		out = append(out, Level{Name: "L3", Elems: int(elems), Cores: spec.Cores, ScaleBy: 1})
+		lastCap = spec.Mem.L3.Cache.Size
+	}
+	// DRAM: arrays well beyond the last cache level, shared across cores.
+	dramBytes := 4 * lastCap
+	if dramBytes < int64(units.MiB) {
+		dramBytes = int64(units.MiB)
+	}
+	dramBytes /= int64(scale)
+	if min := 8 * lastCap / 3; dramBytes < min {
+		dramBytes = min // keep ≥ 2.67× LLC per array even at high scale
+	}
+	out = append(out, Level{Name: "DRAM", Elems: int(dramBytes / 8), Cores: spec.Cores, ScaleBy: 1})
+	return out
+}

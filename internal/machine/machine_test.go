@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"riscvmem/internal/units"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestPresetCount(t *testing.T) {
+	if got := len(All()); got != 4 {
+		t.Fatalf("All() returned %d devices, want the paper's 4", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Xeon", "RaspberryPi4", "VisionFive", "MangoPi"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, err := ByName("Cray-1"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+// The §3.1 facts the experiments depend on.
+func TestPaperFacts(t *testing.T) {
+	d1 := MangoPiD1()
+	if d1.Cores != 1 {
+		t.Error("D1 must be single-core (why Parallel gains nothing, Fig. 2)")
+	}
+	if d1.Mem.L2 != nil {
+		t.Error("D1 must have no L2 (Fig. 1/7 discussion)")
+	}
+	if d1.RAMBytes != 1*units.GiB {
+		t.Error("D1 must have 1 GiB RAM (16384² skipped, Fig. 2)")
+	}
+
+	vf := VisionFive()
+	if vf.Cores != 2 {
+		t.Error("VisionFive has two U74 cores")
+	}
+	if vf.Mem.DRAM.Channels != 2 {
+		t.Error("VisionFive models two memory channels (Fig. 3 discussion)")
+	}
+	if vf.Mem.L2 == nil || !vf.Mem.L2.Shared {
+		t.Error("VisionFive L2 must exist and be shared")
+	}
+
+	pi := RaspberryPi4()
+	if pi.Cores != 4 || pi.FreqGHz != 1.5 {
+		t.Error("Pi 4: 4 cores at 1.5 GHz")
+	}
+
+	xeon := XeonServer()
+	if xeon.Cores != 10 {
+		t.Error("Xeon: 10 cores of the first socket (NUMA avoided)")
+	}
+	if xeon.Mem.L3 == nil || !xeon.Mem.L3.Shared {
+		t.Error("Xeon needs a shared L3")
+	}
+	if xeon.Mem.L2.Shared {
+		t.Error("Xeon L2 is private per core")
+	}
+	if xeon.AutoVecBytes != 64 {
+		t.Error("Xeon vectorizes at AVX-512 width (the 19× blur result)")
+	}
+	for _, s := range []Spec{d1, vf} {
+		if s.AutoVecBytes != 0 {
+			t.Errorf("%s: paper's GCC emitted scalar RISC-V code", s.Name)
+		}
+		if s.Mem.MissOverlap != 1.0 {
+			t.Errorf("%s: in-order cores expose full miss latency", s.Name)
+		}
+	}
+}
+
+// Fig. 1 ordering: raw DRAM bandwidth Xeon ≫ Pi4 ≫ D1 > VisionFive.
+func TestDRAMBandwidthOrdering(t *testing.T) {
+	bw := func(s Spec) float64 { return s.PeakDRAMBandwidth().GBps() }
+	xeon, pi, vf, d1 := bw(XeonServer()), bw(RaspberryPi4()), bw(VisionFive()), bw(MangoPiD1())
+	if !(xeon > pi && pi > d1 && d1 > vf) {
+		t.Errorf("bandwidth ordering violated: xeon=%.1f pi=%.1f d1=%.1f vf=%.1f", xeon, pi, d1, vf)
+	}
+	if vf > 1.5 { // the starved channel
+		t.Errorf("VisionFive peak %.2f GB/s too high for the paper's 'low bandwidth of DRAM'", vf)
+	}
+}
+
+func TestFits(t *testing.T) {
+	const m16384 = 16384 * 16384 * 8 // 2 GiB matrix
+	if MangoPiD1().Fits(m16384) {
+		t.Error("16384² must not fit on the 1 GiB Mango Pi (Fig. 2 bottom panel)")
+	}
+	if !VisionFive().Fits(m16384) {
+		t.Error("16384² must fit on the 8 GiB VisionFive")
+	}
+	const m8192 = 8192 * 8192 * 8 // 512 MiB
+	if !MangoPiD1().Fits(m8192) {
+		t.Error("8192² must fit on the Mango Pi (Fig. 2 top panel)")
+	}
+}
+
+func TestValidateRejectsBrokenSpecs(t *testing.T) {
+	s := MangoPiD1()
+	s.Cores = 0
+	if s.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	s = MangoPiD1()
+	s.Cores = 2 // mismatch with Mem.Cores
+	if s.Validate() == nil {
+		t.Error("core mismatch accepted")
+	}
+	s = MangoPiD1()
+	s.FlopsPerCycle = 0
+	if s.Validate() == nil {
+		t.Error("zero flop rate accepted")
+	}
+	s = MangoPiD1()
+	s.AutoVecBytes = -1
+	if s.Validate() == nil {
+		t.Error("negative SIMD width accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := MangoPiD1().String()
+	for _, want := range []string{"MangoPi", "C906", "1 GiB"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestNewHierarchyWorks(t *testing.T) {
+	for _, s := range All() {
+		h := s.NewHierarchy()
+		if h.LineSize() != 64 {
+			t.Errorf("%s: line size %d", s.Name, h.LineSize())
+		}
+		// A cold miss must complete in finite positive time.
+		if done := h.MissPath(0, 0, 4096, false); done <= 0 {
+			t.Errorf("%s: cold miss done = %v", s.Name, done)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"testing"
+
+	"riscvmem/internal/units"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup(10,2) = %v", got)
+	}
+	if got := Speedup(0, 2); got != 0 {
+		t.Errorf("Speedup(0,2) = %v", got)
+	}
+	if got := Speedup(2, 0); got != 0 {
+		t.Errorf("Speedup(2,0) = %v", got)
+	}
+	if got := Speedup(3, 6); got != 0.5 {
+		t.Errorf("slowdown = %v, want 0.5", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// 16 GB mandatory over 2 s at 16 GB/s achievable = 0.5.
+	if got := Utilization(16e9, 2, units.BytesPerSec(16e9)); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	// Clamped to 1.
+	if got := Utilization(32e9, 1, units.BytesPerSec(16e9)); got != 1 {
+		t.Errorf("Utilization = %v, want 1 (clamped)", got)
+	}
+	// Degenerate inputs.
+	for _, u := range []float64{
+		Utilization(0, 1, 1), Utilization(1, 0, 1), Utilization(1, 1, 0),
+	} {
+		if u != 0 {
+			t.Errorf("degenerate utilization = %v", u)
+		}
+	}
+}

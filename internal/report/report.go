@@ -1,0 +1,175 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// bar charts (the terminal stand-ins for the paper's figures), and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := len(t.Headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes headers and rows as comma-separated values, quoting cells that
+// contain commas or quotes.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(headers)
+	for _, r := range rows {
+		writeRow(r)
+	}
+}
+
+// Item is one bar of a Chart.
+type Item struct {
+	Label string
+	Value float64
+	Note  string // printed after the value, e.g. a speedup annotation
+}
+
+// Chart is a horizontal ASCII bar chart, the terminal rendering used for
+// the paper's figures.
+type Chart struct {
+	Title string
+	Unit  string // printed after each value
+	Width int    // bar width in characters; 0 → 40
+	// LogHint compresses huge ranges: when true, bars scale by log10.
+	LogHint bool
+	Items   []Item
+}
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64, note string) {
+	c.Items = append(c.Items, Item{Label: label, Value: value, Note: note})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	labelW := 0
+	maxV := 0.0
+	for _, it := range c.Items {
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+		if it.Value > maxV {
+			maxV = it.Value
+		}
+	}
+	scale := func(v float64) int {
+		if maxV <= 0 || v <= 0 {
+			return 0
+		}
+		f := v / maxV
+		if c.LogHint {
+			// Map [maxV/1e6, maxV] to (0,1] logarithmically.
+			f = 1 + math.Log10(v/maxV)/6
+			if f < 0 {
+				f = 0
+			}
+		}
+		n := int(f*float64(width) + 0.5)
+		if n > width {
+			n = width
+		}
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		return n
+	}
+	for _, it := range c.Items {
+		bar := strings.Repeat("█", scale(it.Value))
+		fmt.Fprintf(w, "  %-*s |%-*s %g %s", labelW, it.Label, width, bar, round4(it.Value), c.Unit)
+		if it.Note != "" {
+			fmt.Fprintf(w, "  (%s)", it.Note)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func round4(v float64) float64 {
+	switch {
+	case v >= 1000:
+		return float64(int64(v + 0.5))
+	case v >= 1:
+		return float64(int64(v*100+0.5)) / 100
+	default:
+		return float64(int64(v*10000+0.5)) / 10000
+	}
+}

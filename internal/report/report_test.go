@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"Device", "Time"}}
+	tb.Add("Xeon", "1.5")
+	tb.Add("RaspberryPi4", "12")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d: %q", len(lines), out)
+		}
+	}
+	// Columns align: "Time" starts at the same offset in header and rows.
+	hdr := lines[1]
+	off := strings.Index(hdr, "Time")
+	for _, ln := range lines[3:] {
+		cell := ln[off:]
+		if !strings.HasPrefix(cell, "1.5") && !strings.HasPrefix(cell, "12") {
+			t.Errorf("misaligned row: %q", ln)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, []string{"a", "b"}, [][]string{{"x,y", `he said "hi"`}})
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestChartBarsScale(t *testing.T) {
+	c := Chart{Title: "bw", Unit: "GB/s", Width: 10}
+	c.Add("big", 10, "")
+	c.Add("half", 5, "note")
+	c.Add("zero", 0, "")
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	count := func(s string) int { return strings.Count(s, "█") }
+	if count(lines[1]) != 10 {
+		t.Errorf("max bar = %d blocks, want 10", count(lines[1]))
+	}
+	if got := count(lines[2]); got != 5 {
+		t.Errorf("half bar = %d blocks, want 5", got)
+	}
+	if count(lines[3]) != 0 {
+		t.Error("zero bar not empty")
+	}
+	if !strings.Contains(lines[2], "(note)") {
+		t.Error("missing note")
+	}
+}
+
+func TestChartLogHintCompresses(t *testing.T) {
+	lin := Chart{Width: 60}
+	lin.Add("a", 1000, "")
+	lin.Add("b", 1, "")
+	log := Chart{Width: 60, LogHint: true}
+	log.Add("a", 1000, "")
+	log.Add("b", 1, "")
+	nbar := func(c Chart) int {
+		lines := strings.Split(c.String(), "\n")
+		return strings.Count(lines[1], "█")
+	}
+	if nbar(log) <= nbar(lin) {
+		t.Errorf("log scaling did not widen the small bar: log=%d lin=%d", nbar(log), nbar(lin))
+	}
+}
+
+func TestRound4(t *testing.T) {
+	cases := map[float64]float64{
+		1234.6:    1235,
+		12.345678: 12.35,
+		0.0123456: 0.0123,
+	}
+	for in, want := range cases {
+		if got := round4(in); got != want {
+			t.Errorf("round4(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

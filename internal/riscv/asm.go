@@ -1,0 +1,528 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled instruction stream.
+type Program struct {
+	Base   uint64 // address of Words[0]
+	Words  []uint32
+	Labels map[string]uint64
+	// Lines maps each word to the 1-based source line it came from.
+	Lines []int
+}
+
+// DefaultBase is where programs are assembled unless overridden.
+const DefaultBase = 0x1000
+
+// register name tables: x/f/v files share index space 0..31.
+var xregs = map[string]int{}
+var fregs = map[string]int{}
+var vregs = map[string]int{}
+
+func init() {
+	abiX := []string{"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+		"s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+		"t3", "t4", "t5", "t6"}
+	for i := 0; i < 32; i++ {
+		xregs[fmt.Sprintf("x%d", i)] = i
+		xregs[abiX[i]] = i
+		fregs[fmt.Sprintf("f%d", i)] = i
+		vregs[fmt.Sprintf("v%d", i)] = i
+	}
+	xregs["fp"] = 8
+	abiF := []string{"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+		"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7",
+		"fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9", "fs10", "fs11",
+		"ft8", "ft9", "ft10", "ft11"}
+	for i, n := range abiF {
+		fregs[n] = i
+	}
+}
+
+// item is one parsed source statement before encoding.
+type item struct {
+	line  int
+	name  string
+	args  []string
+	label string // branch/jump target when the last operand is a label
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("riscv: line %d: %s", e.line, e.msg) }
+
+// Assemble translates assembly source (labels, instructions, pseudo-
+// instructions, `#`/`//` comments) into a Program based at DefaultBase.
+func Assemble(src string) (*Program, error) {
+	return AssembleAt(src, DefaultBase)
+}
+
+// AssembleAt assembles with an explicit base address.
+func AssembleAt(src string, base uint64) (*Program, error) {
+	p := &Program{Base: base, Labels: map[string]uint64{}}
+	var items []item
+
+	addr := base
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := raw
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = text[:i]
+		}
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		for {
+			colon := strings.Index(text, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,()") {
+				return nil, asmError{line, fmt.Sprintf("bad label %q", label)}
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, asmError{line, fmt.Sprintf("duplicate label %q", label)}
+			}
+			p.Labels[label] = addr
+			text = strings.TrimSpace(text[colon+1:])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		name := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(text[len(fields[0]):])
+		var args []string
+		if rest != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		exp, err := expand(line, name, args)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, exp...)
+		addr += uint64(4 * len(exp))
+	}
+
+	// Second pass: encode with resolved labels.
+	addr = base
+	for _, it := range items {
+		word, err := encodeItem(p, it, addr)
+		if err != nil {
+			return nil, err
+		}
+		p.Words = append(p.Words, word)
+		p.Lines = append(p.Lines, it.line)
+		addr += 4
+	}
+	return p, nil
+}
+
+// expand rewrites pseudo-instructions into base instructions. The expansion
+// size depends only on the statement itself, so label addresses computed in
+// the same pass stay exact.
+func expand(line int, name string, args []string) ([]item, error) {
+	mk := func(n string, a ...string) item { return item{line: line, name: n, args: a} }
+	switch name {
+	case "nop":
+		return []item{mk("addi", "x0", "x0", "0")}, nil
+	case "mv":
+		if len(args) != 2 {
+			return nil, asmError{line, "mv needs rd, rs"}
+		}
+		return []item{mk("addi", args[0], args[1], "0")}, nil
+	case "li":
+		if len(args) != 2 {
+			return nil, asmError{line, "li needs rd, imm"}
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return nil, asmError{line, err.Error()}
+		}
+		if v >= -2048 && v <= 2047 {
+			return []item{mk("addi", args[0], "x0", args[1])}, nil
+		}
+		if v < -(1<<31) || v >= 1<<31 {
+			return nil, asmError{line, fmt.Sprintf("li immediate %d beyond 32 bits", v)}
+		}
+		shi := (v + 0x800) >> 12 // signed hi20; lui sign-extends, addiw wraps
+		lo := v - shi<<12
+		return []item{
+			mk("lui", args[0], strconv.FormatInt(shi&0xfffff, 10)),
+			mk("addiw", args[0], args[0], strconv.FormatInt(lo, 10)),
+		}, nil
+	case "la":
+		if len(args) != 2 {
+			return nil, asmError{line, "la needs rd, label"}
+		}
+		// auipc+addi pair; the label is resolved at encode time.
+		return []item{
+			{line: line, name: "auipc", args: []string{args[0]}, label: args[1]},
+			{line: line, name: "addi.la", args: []string{args[0]}, label: args[1]},
+		}, nil
+	case "j":
+		if len(args) != 1 {
+			return nil, asmError{line, "j needs a target"}
+		}
+		return []item{mk("jal", "x0", args[0])}, nil
+	case "ret":
+		return []item{mk("jalr", "x0", "0(ra)")}, nil
+	case "beqz":
+		if len(args) != 2 {
+			return nil, asmError{line, "beqz needs rs, target"}
+		}
+		return []item{mk("beq", args[0], "x0", args[1])}, nil
+	case "bnez":
+		if len(args) != 2 {
+			return nil, asmError{line, "bnez needs rs, target"}
+		}
+		return []item{mk("bne", args[0], "x0", args[1])}, nil
+	case "fmv.d":
+		if len(args) != 2 {
+			return nil, asmError{line, "fmv.d needs rd, rs"}
+		}
+		return []item{mk("fsgnj.d", args[0], args[1], args[1])}, nil
+	default:
+		return []item{{line: line, name: name, args: args}}, nil
+	}
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func parseReg(table map[string]int, s string) (int, error) {
+	if r, ok := table[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+// anyReg resolves a register name from whichever file it belongs to; the
+// executor knows which file each instruction reads.
+func anyReg(s string) (int, error) {
+	ls := strings.ToLower(s)
+	for _, t := range []map[string]int{xregs, fregs, vregs} {
+		if r, ok := t[ls]; ok {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown register %q", s)
+}
+
+// parseMem parses "imm(reg)" or "(reg)".
+func parseMem(s string) (imm int64, reg int, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if open > 0 {
+		imm, err = parseImm(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err = parseReg(xregs, strings.TrimSpace(s[open+1:len(s)-1]))
+	return imm, reg, err
+}
+
+// resolve returns the address of a label or a numeric literal offset.
+func resolve(p *Program, it item, s string) (uint64, bool, error) {
+	if a, ok := p.Labels[s]; ok {
+		return a, true, nil
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return 0, false, asmError{it.line, fmt.Sprintf("unknown label or offset %q", s)}
+	}
+	return uint64(v), false, nil
+}
+
+func encodeItem(p *Program, it item, addr uint64) (uint32, error) {
+	fail := func(msg string) (uint32, error) { return 0, asmError{it.line, msg} }
+
+	// The la pseudo's two halves carry a label instead of an immediate.
+	switch it.name {
+	case "auipc":
+		if it.label != "" {
+			target, ok, err := resolve(p, it, it.label)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return fail("la needs a label")
+			}
+			delta := int64(target) - int64(addr)
+			hi := (delta + 0x800) >> 12
+			rd, err := parseReg(xregs, it.args[0])
+			if err != nil {
+				return fail(err.Error())
+			}
+			return Instr{Spec: byName["auipc"], Rd: rd, Imm: hi & 0xfffff}.Encode()
+		}
+	case "addi.la":
+		target, ok, err := resolve(p, it, it.label)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return fail("la needs a label")
+		}
+		// addr is the second word; the auipc executed at addr-4.
+		delta := int64(target) - int64(addr-4)
+		hi := (delta + 0x800) >> 12
+		lo := delta - hi<<12
+		rd, err := parseReg(xregs, it.args[0])
+		if err != nil {
+			return fail(err.Error())
+		}
+		return Instr{Spec: byName["addi"], Rd: rd, Rs1: rd, Imm: lo}.Encode()
+	}
+
+	s, ok := Lookup(it.name)
+	if !ok {
+		return fail(fmt.Sprintf("unknown instruction %q", it.name))
+	}
+	in := Instr{Spec: s}
+	need := func(n int) error {
+		if len(it.args) != n {
+			return asmError{it.line, fmt.Sprintf("%s needs %d operands, got %d", s.Name, n, len(it.args))}
+		}
+		return nil
+	}
+	var err error
+	switch s.Format {
+	case FormatR:
+		if _, fixed := fixedRS2[s.Name]; fixed {
+			if err = need(2); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = anyReg(it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs1, err = anyReg(it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+			break
+		}
+		if err = need(3); err != nil {
+			return 0, err
+		}
+		if in.Rd, err = anyReg(it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs1, err = anyReg(it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs2, err = anyReg(it.args[2]); err != nil {
+			return fail(err.Error())
+		}
+	case FormatR4:
+		if err = need(4); err != nil {
+			return 0, err
+		}
+		regs := [4]int{}
+		for i, a := range it.args {
+			if regs[i], err = parseReg(fregs, a); err != nil {
+				return fail(err.Error())
+			}
+		}
+		in.Rd, in.Rs1, in.Rs2, in.Rs3 = regs[0], regs[1], regs[2], regs[3]
+	case FormatI:
+		switch {
+		case s.Name == "ecall":
+			if err = need(0); err != nil {
+				return 0, err
+			}
+		case s.Class == ClassLoad || s.Class == ClassFLoad || s.Name == "jalr":
+			if err = need(2); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = anyReg(it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Imm, in.Rs1, err = parseMem(it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+		default:
+			if err = need(3); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = parseReg(xregs, it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs1, err = parseReg(xregs, it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Imm, err = parseImm(it.args[2]); err != nil {
+				return fail(err.Error())
+			}
+		}
+	case FormatS:
+		if err = need(2); err != nil {
+			return 0, err
+		}
+		if in.Rs2, err = anyReg(it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Imm, in.Rs1, err = parseMem(it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+	case FormatB:
+		if err = need(3); err != nil {
+			return 0, err
+		}
+		if in.Rs1, err = parseReg(xregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs2, err = parseReg(xregs, it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+		target, isLabel, err := resolve(p, it, it.args[2])
+		if err != nil {
+			return 0, err
+		}
+		if isLabel {
+			in.Imm = int64(target) - int64(addr)
+		} else {
+			in.Imm = int64(target)
+		}
+	case FormatU:
+		if err = need(2); err != nil {
+			return 0, err
+		}
+		if in.Rd, err = parseReg(xregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Imm, err = parseImm(it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+		in.Imm &= 0xfffff
+	case FormatJ:
+		if err = need(2); err != nil {
+			return 0, err
+		}
+		if in.Rd, err = parseReg(xregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		target, isLabel, err := resolve(p, it, it.args[1])
+		if err != nil {
+			return 0, err
+		}
+		if isLabel {
+			in.Imm = int64(target) - int64(addr)
+		} else {
+			in.Imm = int64(target)
+		}
+	case FormatVL, FormatVS:
+		if err = need(2); err != nil {
+			return 0, err
+		}
+		if in.Rd, err = parseReg(vregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if _, in.Rs1, err = parseMem(it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+	case FormatVV:
+		if err = need(3); err != nil {
+			return 0, err
+		}
+		if in.Rd, err = parseReg(vregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs2, err = parseReg(vregs, it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs1, err = parseReg(vregs, it.args[2]); err != nil {
+			return fail(err.Error())
+		}
+	case FormatVF:
+		switch s.Name {
+		case "vfmv.v.f":
+			if err = need(2); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = parseReg(vregs, it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs1, err = parseReg(fregs, it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+		case "vfmacc.vf":
+			// RVV order: vd, rs1(f), vs2.
+			if err = need(3); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = parseReg(vregs, it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs1, err = parseReg(fregs, it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs2, err = parseReg(vregs, it.args[2]); err != nil {
+				return fail(err.Error())
+			}
+		default:
+			// vfadd.vf / vfmul.vf: vd, vs2, rs1(f).
+			if err = need(3); err != nil {
+				return 0, err
+			}
+			if in.Rd, err = parseReg(vregs, it.args[0]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs2, err = parseReg(vregs, it.args[1]); err != nil {
+				return fail(err.Error())
+			}
+			if in.Rs1, err = parseReg(fregs, it.args[2]); err != nil {
+				return fail(err.Error())
+			}
+		}
+	case FormatVVI:
+		// vsetvli rd, rs1, eSEW, mLMUL [, ta][, ma]
+		if len(it.args) < 3 {
+			return fail("vsetvli needs rd, rs1, eN[, mN]")
+		}
+		if in.Rd, err = parseReg(xregs, it.args[0]); err != nil {
+			return fail(err.Error())
+		}
+		if in.Rs1, err = parseReg(xregs, it.args[1]); err != nil {
+			return fail(err.Error())
+		}
+		var vsew int64
+		switch strings.ToLower(it.args[2]) {
+		case "e8":
+			vsew = 0
+		case "e16":
+			vsew = 1
+		case "e32":
+			vsew = 2
+		case "e64":
+			vsew = 3
+		default:
+			return fail(fmt.Sprintf("bad element width %q", it.args[2]))
+		}
+		for _, extra := range it.args[3:] {
+			switch strings.ToLower(extra) {
+			case "m1", "ta", "tu", "ma", "mu":
+				// LMUL=1 and tail/mask policies are accepted and ignored.
+			default:
+				return fail(fmt.Sprintf("unsupported vsetvli argument %q", extra))
+			}
+		}
+		in.Imm = vsew << 3
+	}
+	return in.Encode()
+}

@@ -1,0 +1,127 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// regFile identifies which register file an operand field addresses.
+type regFile int
+
+const (
+	fileX regFile = iota
+	fileF
+	fileV
+)
+
+func regName(f regFile, n int) string {
+	switch f {
+	case fileF:
+		return fmt.Sprintf("f%d", n)
+	case fileV:
+		return fmt.Sprintf("v%d", n)
+	default:
+		return fmt.Sprintf("x%d", n)
+	}
+}
+
+// operandFiles returns the register files of (rd, rs1, rs2) for a spec.
+func operandFiles(s *Spec) (rd, rs1, rs2 regFile) {
+	switch s.Class {
+	case ClassFLoad:
+		return fileF, fileX, fileX
+	case ClassFStore:
+		return fileX, fileX, fileF // rs2 is the stored float
+	case ClassFALU, ClassFMA, ClassFDiv:
+		rd, rs1, rs2 = fileF, fileF, fileF
+		switch s.Name {
+		case "feq.d", "flt.d", "fle.d", "fmv.x.d", "fcvt.l.d":
+			rd = fileX
+		}
+		switch s.Name {
+		case "fmv.d.x", "fcvt.d.l":
+			rs1 = fileX
+		}
+		return rd, rs1, rs2
+	case ClassVLoad, ClassVStore:
+		return fileV, fileX, fileX
+	case ClassVALU, ClassVFMA:
+		rd, rs1, rs2 = fileV, fileV, fileV
+		if strings.HasSuffix(s.Name, ".vf") || s.Name == "vfmv.v.f" {
+			rs1 = fileF
+		}
+		return rd, rs1, rs2
+	default:
+		return fileX, fileX, fileX
+	}
+}
+
+// Disassemble renders one instruction word as assembly text. Branch and
+// jump targets are shown as relative byte offsets (`.±N`).
+func Disassemble(word uint32) (string, error) {
+	in, err := Decode(word)
+	if err != nil {
+		return "", err
+	}
+	s := in.Spec
+	fd, f1, f2 := operandFiles(s)
+	rd := regName(fd, in.Rd)
+	rs1 := regName(f1, in.Rs1)
+	rs2 := regName(f2, in.Rs2)
+	switch s.Format {
+	case FormatR:
+		if _, fixed := fixedRS2[s.Name]; fixed {
+			return fmt.Sprintf("%s %s, %s", s.Name, rd, rs1), nil
+		}
+		return fmt.Sprintf("%s %s, %s, %s", s.Name, rd, rs1, rs2), nil
+	case FormatR4:
+		return fmt.Sprintf("%s %s, %s, %s, f%d", s.Name, rd, rs1, rs2, in.Rs3), nil
+	case FormatI:
+		switch {
+		case s.Name == "ecall":
+			return "ecall", nil
+		case s.Class == ClassLoad || s.Class == ClassFLoad || s.Name == "jalr":
+			return fmt.Sprintf("%s %s, %d(%s)", s.Name, rd, in.Imm, rs1), nil
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", s.Name, rd, rs1, in.Imm), nil
+		}
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", s.Name, rs2, in.Imm, rs1), nil
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, .%+d", s.Name, rs1, rs2, in.Imm), nil
+	case FormatU:
+		return fmt.Sprintf("%s %s, %d", s.Name, rd, in.Imm), nil
+	case FormatJ:
+		return fmt.Sprintf("%s %s, .%+d", s.Name, rd, in.Imm), nil
+	case FormatVL, FormatVS:
+		return fmt.Sprintf("%s v%d, (%s)", s.Name, in.Rd, rs1), nil
+	case FormatVV:
+		return fmt.Sprintf("%s %s, v%d, v%d", s.Name, rd, in.Rs2, in.Rs1), nil
+	case FormatVF:
+		switch s.Name {
+		case "vfmv.v.f":
+			return fmt.Sprintf("%s %s, f%d", s.Name, rd, in.Rs1), nil
+		case "vfmacc.vf":
+			return fmt.Sprintf("%s %s, f%d, v%d", s.Name, rd, in.Rs1, in.Rs2), nil
+		default:
+			return fmt.Sprintf("%s %s, v%d, f%d", s.Name, rd, in.Rs2, in.Rs1), nil
+		}
+	case FormatVVI:
+		sew := 8 << uint((in.Imm>>3)&7)
+		return fmt.Sprintf("vsetvli %s, %s, e%d, m1", rd, rs1, sew), nil
+	}
+	return "", fmt.Errorf("riscv: cannot render format %d", s.Format)
+}
+
+// DisassembleAll renders every word of a program, one line per instruction.
+func (p *Program) DisassembleAll() []string {
+	out := make([]string, len(p.Words))
+	for i, w := range p.Words {
+		s, err := Disassemble(w)
+		if err != nil {
+			s = fmt.Sprintf(".word %#08x", w)
+		}
+		out[i] = fmt.Sprintf("%#06x: %s", p.Base+uint64(4*i), s)
+	}
+	return out
+}

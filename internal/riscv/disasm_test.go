@@ -1,0 +1,108 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+// corpus exercises every instruction format through the assembler.
+const corpus = `
+start:
+	lui     x5, 1234
+	auipc   x6, 0
+	addi    a0, a1, -7
+	slli    t0, t1, 13
+	srai    t2, t3, 3
+	add     s0, s1, s2
+	sub     s3, s4, s5
+	mul     a2, a3, a4
+	div     a5, a6, a7
+	ld      t4, 16(sp)
+	sd      t5, -8(sp)
+	lbu     t6, 0(gp)
+	beq     a0, a1, start
+	bne     a2, a3, start
+	jal     ra, start
+	jalr    x0, 0(ra)
+	fld     fa0, 0(a0)
+	fsd     fa1, 8(a0)
+	fadd.d  fa2, fa3, fa4
+	fmadd.d fa5, fa6, fa7, fs0
+	fmv.x.d t0, fa0
+	fcvt.d.l fa1, t1
+	flt.d   t2, fa2, fa3
+	vsetvli t0, a0, e64, m1
+	vle64.v v1, (a1)
+	vse64.v v2, (a2)
+	vfadd.vv v3, v4, v5
+	vfmacc.vf v6, fa0, v7
+	vfmv.v.f v8, fa1
+	ecall
+`
+
+// TestDisassembleRoundTrip: assemble → disassemble → re-assemble must give
+// identical machine words (labels become numeric offsets, which the
+// assembler accepts for branches and jumps).
+func TestDisassembleRoundTrip(t *testing.T) {
+	p1, err := Assemble(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, w := range p1.Words {
+		s, err := Disassemble(w)
+		if err != nil {
+			t.Fatalf("disassemble %#08x: %v", w, err)
+		}
+		// Branch/jump targets render as `.±N`; numeric offsets re-assemble.
+		s = strings.Replace(s, ", .+", ", ", 1)
+		s = strings.Replace(s, ", .-", ", -", 1)
+		lines = append(lines, s)
+	}
+	p2, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("re-assemble: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(p1.Words) != len(p2.Words) {
+		t.Fatalf("word counts differ: %d vs %d", len(p1.Words), len(p2.Words))
+	}
+	for i := range p1.Words {
+		if p1.Words[i] != p2.Words[i] {
+			t.Errorf("word %d: %#08x vs %#08x (%q)", i, p1.Words[i], p2.Words[i], lines[i])
+		}
+	}
+}
+
+func TestDisassembleSpotChecks(t *testing.T) {
+	cases := map[string]string{
+		"addi a0, a1, -7":            "addi x10, x11, -7",
+		"ld t4, 16(sp)":              "ld x29, 16(x2)",
+		"fadd.d fa2, fa3, fa4":       "fadd.d f12, f13, f14",
+		"vsetvli t0, a0, e64, m1":    "vsetvli x5, x10, e64, m1",
+		"vfmacc.vf v6, fa0, v7":      "vfmacc.vf v6, f10, v7",
+		"vle64.v v1, (a1)":           "vle64.v v1, (x11)",
+		"fmadd.d fa5, fa6, fa7, fs0": "fmadd.d f15, f16, f17, f8",
+		"ecall":                      "ecall",
+	}
+	for src, want := range cases {
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		got, err := Disassemble(p.Words[0])
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got != want {
+			t.Errorf("%q disassembled as %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestDisassembleAllHandlesGarbage(t *testing.T) {
+	p := &Program{Base: 0x1000, Words: []uint32{0xffffffff}}
+	out := p.DisassembleAll()
+	if len(out) != 1 || !strings.Contains(out[0], ".word") {
+		t.Fatalf("garbage word rendered as %v", out)
+	}
+}

@@ -1,0 +1,172 @@
+package riscv
+
+import "fmt"
+
+// Instr is one decoded (or to-be-encoded) instruction.
+type Instr struct {
+	Spec *Spec
+	Rd   int
+	Rs1  int
+	Rs2  int
+	Rs3  int // FormatR4 only
+	// Imm is the sign-extended immediate: 12-bit value for I/S, byte offset
+	// for B/J, the raw 20-bit value for U (not shifted), shamt for shifts,
+	// and the vtype zimm for vsetvli.
+	Imm int64
+}
+
+// fixedRS2 holds rs2 values hard-wired by the encoding for two-operand
+// FormatR instructions.
+var fixedRS2 = map[string]int{
+	"fmv.x.d": 0, "fmv.d.x": 0,
+	"fcvt.d.l": 2, "fcvt.l.d": 2,
+}
+
+func reg(v int) uint32 { return uint32(v) & 31 }
+
+// Encode produces the 32-bit instruction word.
+func (i Instr) Encode() (uint32, error) {
+	s := i.Spec
+	if s == nil {
+		return 0, fmt.Errorf("riscv: encode without spec")
+	}
+	switch s.Format {
+	case FormatR:
+		rs2 := reg(i.Rs2)
+		if v, ok := fixedRS2[s.Name]; ok {
+			rs2 = uint32(v)
+		}
+		return s.Funct7<<25 | rs2<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatR4:
+		// fmadd: rs3 in [31:27], fmt (01 = double) in [26:25].
+		return reg(i.Rs3)<<27 | s.Funct7<<25 | reg(i.Rs2)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatI:
+		imm := i.Imm
+		if s.Opcode == opOPIMM && (s.Funct3 == 0b001 || s.Funct3 == 0b101) {
+			if imm < 0 || imm > 63 {
+				return 0, fmt.Errorf("riscv: %s shamt %d out of range", s.Name, imm)
+			}
+			return s.Funct7<<25 | uint32(imm)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+		}
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("riscv: %s immediate %d out of range", s.Name, imm)
+		}
+		return uint32(imm&0xfff)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatS:
+		imm := i.Imm
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("riscv: %s offset %d out of range", s.Name, imm)
+		}
+		u := uint32(imm & 0xfff)
+		return (u>>5)<<25 | reg(i.Rs2)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | (u&31)<<7 | s.Opcode, nil
+	case FormatB:
+		imm := i.Imm
+		if imm < -4096 || imm > 4095 || imm%2 != 0 {
+			return 0, fmt.Errorf("riscv: %s branch offset %d invalid", s.Name, imm)
+		}
+		u := uint32(imm) & 0x1fff
+		return (u>>12)<<31 | ((u>>5)&0x3f)<<25 | reg(i.Rs2)<<20 | reg(i.Rs1)<<15 |
+			s.Funct3<<12 | ((u>>1)&0xf)<<8 | ((u>>11)&1)<<7 | s.Opcode, nil
+	case FormatU:
+		if i.Imm < 0 || i.Imm > 0xfffff {
+			return 0, fmt.Errorf("riscv: %s upper immediate %#x out of range", s.Name, i.Imm)
+		}
+		return uint32(i.Imm)<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatJ:
+		imm := i.Imm
+		if imm < -(1<<20) || imm >= 1<<20 || imm%2 != 0 {
+			return 0, fmt.Errorf("riscv: jal offset %d invalid", imm)
+		}
+		u := uint32(imm) & 0x1fffff
+		return (u>>20)<<31 | ((u>>1)&0x3ff)<<21 | ((u>>11)&1)<<20 | ((u>>12)&0xff)<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatVL:
+		return s.Funct7<<25 | 0<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatVS:
+		// vs3 (the data source) lives in the rd field position [11:7].
+		return s.Funct7<<25 | 0<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatVV, FormatVF:
+		return s.Funct7<<25 | reg(i.Rs2)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	case FormatVVI:
+		if i.Imm < 0 || i.Imm > 0x3ff {
+			return 0, fmt.Errorf("riscv: vsetvli vtype %#x out of range", i.Imm)
+		}
+		return uint32(i.Imm)<<20 | reg(i.Rs1)<<15 | s.Funct3<<12 | reg(i.Rd)<<7 | s.Opcode, nil
+	}
+	return 0, fmt.Errorf("riscv: unknown format %d", s.Format)
+}
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode parses a 32-bit instruction word back into an Instr.
+func Decode(word uint32) (Instr, error) {
+	opcode := word & 0x7f
+	funct3 := (word >> 12) & 7
+	funct7 := word >> 25
+	rd := int((word >> 7) & 31)
+	rs1 := int((word >> 15) & 31)
+	rs2 := int((word >> 20) & 31)
+
+	keyF3 := funct3
+	if opcode == opLUI || opcode == opAUIPC || opcode == opJAL {
+		keyF3 = 0 // U/J formats have no funct3; those bits are immediate
+	}
+	keyF7 := func() uint32 {
+		switch opcode {
+		case opOP, opOPW, opFP:
+			return funct7
+		case opOPIMM:
+			if funct3 == 0b001 || funct3 == 0b101 {
+				return funct7 & 0b1111110 // RV64 shifts: bit 25 is shamt[5]
+			}
+			return 0
+		case opFMADD:
+			return (word >> 25) & 3 // fmt field
+		case opOPV:
+			if funct3 == 0b111 {
+				return 0 // vsetvli
+			}
+			return funct7
+		case opLOADFP, opSTOREF:
+			if funct3 == 0b010 || funct3 == 0b011 {
+				return 0 // scalar flw/fld/fsw/fsd
+			}
+			return funct7
+		default:
+			return 0
+		}
+	}()
+	s, ok := byKey[decodeKey(opcode, keyF3, keyF7)]
+	if !ok {
+		return Instr{}, fmt.Errorf("riscv: cannot decode %#08x (opcode %#x funct3 %#x funct7 %#x)",
+			word, opcode, funct3, keyF7)
+	}
+	in := Instr{Spec: s, Rd: rd, Rs1: rs1, Rs2: rs2}
+	switch s.Format {
+	case FormatR, FormatVV, FormatVF, FormatVL, FormatVS:
+		// registers already extracted
+	case FormatR4:
+		in.Rs3 = int(word >> 27)
+	case FormatI:
+		if s.Opcode == opOPIMM && (funct3 == 0b001 || funct3 == 0b101) {
+			in.Imm = int64((word >> 20) & 0x3f)
+		} else {
+			in.Imm = signExtend(word>>20, 12)
+		}
+	case FormatS:
+		in.Imm = signExtend((word>>25)<<5|(word>>7)&31, 12)
+	case FormatB:
+		u := (word>>31)<<12 | ((word>>7)&1)<<11 | ((word>>25)&0x3f)<<5 | ((word>>8)&0xf)<<1
+		in.Imm = signExtend(u, 13)
+	case FormatU:
+		in.Imm = int64(word >> 12)
+	case FormatJ:
+		u := (word>>31)<<20 | ((word>>12)&0xff)<<12 | ((word>>20)&1)<<11 | ((word>>21)&0x3ff)<<1
+		in.Imm = signExtend(u, 21)
+	case FormatVVI:
+		in.Imm = int64((word >> 20) & 0x7ff)
+	}
+	return in, nil
+}

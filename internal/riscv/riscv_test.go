@@ -1,0 +1,497 @@
+package riscv
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/sim"
+)
+
+// run assembles src, loads it into an emulator on a Mango Pi-class machine
+// with 1 MiB of data memory, and executes it.
+func run(t *testing.T, src string) *Emulator {
+	t.Helper()
+	e := mustEmu(t, src, 1<<20)
+	if _, err := e.Run(1 << 22); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return e
+}
+
+func mustEmu(t *testing.T, src string, mem int) *Emulator {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := sim.MustNew(machine.MangoPiD1())
+	e, err := NewEmulator(p, m, mem)
+	if err != nil {
+		t.Fatalf("emulator: %v", err)
+	}
+	return e
+}
+
+func TestEncodeDecodeRoundTripAllSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range specs {
+		s := s
+		for trial := 0; trial < 32; trial++ {
+			in := Instr{Spec: &s, Rd: rng.Intn(32), Rs1: rng.Intn(32), Rs2: rng.Intn(32), Rs3: rng.Intn(32)}
+			switch s.Format {
+			case FormatI:
+				if s.Opcode == opOPIMM && (s.Funct3 == 0b001 || s.Funct3 == 0b101) {
+					in.Imm = int64(rng.Intn(64))
+				} else {
+					in.Imm = int64(rng.Intn(4096) - 2048)
+				}
+			case FormatS:
+				in.Imm = int64(rng.Intn(4096) - 2048)
+			case FormatB:
+				in.Imm = int64(rng.Intn(4096)-2048) * 2
+			case FormatU:
+				in.Imm = int64(rng.Intn(1 << 20))
+			case FormatJ:
+				in.Imm = int64(rng.Intn(1<<20)-1<<19) * 2
+			case FormatVVI:
+				in.Imm = int64(rng.Intn(4)) << 3
+			}
+			word, err := in.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode: %v", s.Name, err)
+			}
+			got, err := Decode(word)
+			if err != nil {
+				t.Fatalf("%s: decode(%#08x): %v", s.Name, word, err)
+			}
+			if got.Spec.Name != s.Name {
+				t.Fatalf("%s decoded as %s", s.Name, got.Spec.Name)
+			}
+			if got.Imm != in.Imm {
+				t.Fatalf("%s: imm %d -> %d", s.Name, in.Imm, got.Imm)
+			}
+			// Register fields participate unless the encoding fixes them.
+			if _, fixed := fixedRS2[s.Name]; !fixed &&
+				(s.Format == FormatR || s.Format == FormatVV || s.Format == FormatVF) {
+				if got.Rd != in.Rd || got.Rs1 != in.Rs1 || got.Rs2 != in.Rs2 {
+					t.Fatalf("%s: regs (%d,%d,%d) -> (%d,%d,%d)", s.Name,
+						in.Rd, in.Rs1, in.Rs2, got.Rd, got.Rs1, got.Rs2)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(0xffffffff); err == nil {
+		t.Error("all-ones decoded")
+	}
+	if _, err := Decode(0); err == nil {
+		t.Error("all-zeros decoded")
+	}
+}
+
+// Property: random valid instruction words survive decode→encode→decode.
+func TestPropertyDecodeEncodeFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := specs[rng.Intn(len(specs))]
+		in := Instr{Spec: &s, Rd: rng.Intn(32), Rs1: rng.Intn(32), Rs2: rng.Intn(32), Rs3: rng.Intn(32)}
+		if s.Format == FormatB {
+			in.Imm = 4
+		}
+		if s.Format == FormatJ {
+			in.Imm = 8
+		}
+		w1, err := in.Encode()
+		if err != nil {
+			return true // invalid immediates are allowed to fail
+		}
+		d, err := Decode(w1)
+		if err != nil {
+			return false
+		}
+		w2, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		return w1 == w2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad mnemonic":    "frobnicate x1, x2",
+		"bad register":    "add q1, x2, x3",
+		"operand count":   "add x1, x2",
+		"bad label":       "beq x1, x2, nowhere",
+		"dup label":       "a:\na:\naddi x0, x0, 0",
+		"imm overflow":    "addi x1, x0, 99999",
+		"li overflow":     "li x1, 0x123456789ab",
+		"bad vsetvli sew": "vsetvli t0, a0, e128, m1",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		}
+	}
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	e := run(t, `
+		li   a0, 40
+		li   a1, 2
+		add  a2, a0, a1      # 42
+		sub  a3, a0, a1      # 38
+		mul  a4, a0, a1      # 80
+		div  a5, a0, a1      # 20
+		rem  a6, a0, a1      # 0
+		slli a7, a1, 4       # 32
+		ecall
+	`)
+	want := map[int]uint64{12: 42, 13: 38, 14: 80, 15: 20, 16: 0, 17: 32}
+	for r, v := range want {
+		if e.X[r] != v {
+			t.Errorf("x%d = %d, want %d", r, e.X[r], v)
+		}
+	}
+}
+
+func TestLiLargeAndNegative(t *testing.T) {
+	e := run(t, `
+		li a0, 123456789
+		li a1, -9876
+		li a2, -1
+		ecall
+	`)
+	if e.X[10] != 123456789 {
+		t.Errorf("a0 = %d", e.X[10])
+	}
+	if int64(e.X[11]) != -9876 {
+		t.Errorf("a1 = %d", int64(e.X[11]))
+	}
+	if int64(e.X[12]) != -1 {
+		t.Errorf("a2 = %d", int64(e.X[12]))
+	}
+}
+
+func TestFibonacciLoop(t *testing.T) {
+	e := run(t, `
+		li   t0, 10       # n
+		li   a0, 0
+		li   a1, 1
+	loop:
+		beqz t0, done
+		add  t1, a0, a1
+		mv   a0, a1
+		mv   a1, t1
+		addi t0, t0, -1
+		j    loop
+	done:
+		ecall
+	`)
+	if e.X[10] != 55 {
+		t.Fatalf("fib(10) = %d, want 55", e.X[10])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	e := mustEmu(t, `
+		# a0 = base (set by host), store then reload several widths
+		li   t0, 0x7b        # 123
+		sd   t0, 0(a0)
+		ld   t1, 0(a0)
+		sw   t0, 8(a0)
+		lw   t2, 8(a0)
+		sh   t0, 16(a0)
+		lhu  t3, 16(a0)
+		sb   t0, 24(a0)
+		lbu  t4, 24(a0)
+		ecall
+	`, 1<<16)
+	e.X[10] = e.MemBase
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{6, 7, 28, 29} {
+		if e.X[r] != 0x7b {
+			t.Errorf("x%d = %#x, want 0x7b", r, e.X[r])
+		}
+	}
+}
+
+func TestSignExtensionLoads(t *testing.T) {
+	e := mustEmu(t, `
+		li  t0, -1
+		sb  t0, 0(a0)
+		lb  t1, 0(a0)      # -1
+		lbu t2, 0(a0)      # 255
+		sw  t0, 8(a0)
+		lw  t3, 8(a0)      # -1
+		lwu t4, 8(a0)      # 2^32-1
+		ecall
+	`, 1<<16)
+	e.X[10] = e.MemBase
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if int64(e.X[6]) != -1 || e.X[7] != 255 {
+		t.Errorf("lb/lbu = %d/%d", int64(e.X[6]), e.X[7])
+	}
+	if int64(e.X[28]) != -1 || e.X[29] != 1<<32-1 {
+		t.Errorf("lw/lwu = %d/%d", int64(e.X[28]), e.X[29])
+	}
+}
+
+func TestFloatProgram(t *testing.T) {
+	e := mustEmu(t, `
+		li       t0, 3
+		fcvt.d.l fa0, t0
+		li       t1, 4
+		fcvt.d.l fa1, t1
+		fmul.d   fa2, fa0, fa0   # 9
+		fmadd.d  fa3, fa1, fa1, fa2  # 25
+		fdiv.d   fa4, fa3, fa1   # 6.25
+		fsd      fa3, 0(a0)
+		fld      fa5, 0(a0)
+		flt.d    t2, fa0, fa1    # 1
+		ecall
+	`, 1<<16)
+	e.X[10] = e.MemBase
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if e.F[12] != 9 || e.F[13] != 25 || e.F[14] != 6.25 || e.F[15] != 25 {
+		t.Errorf("fa2..fa5 = %v %v %v %v", e.F[12], e.F[13], e.F[14], e.F[15])
+	}
+	if e.X[7] != 1 {
+		t.Errorf("flt.d = %d", e.X[7])
+	}
+}
+
+func TestMemoryBoundsFault(t *testing.T) {
+	e := mustEmu(t, `
+		li t0, 0x10
+		ld t1, 0(t0)    # far below the data segment
+		ecall
+	`, 1<<12)
+	if _, err := e.Run(100); err == nil {
+		t.Fatal("out-of-bounds load did not fault")
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	e := mustEmu(t, "spin: j spin", 1<<12)
+	if _, err := e.Run(1000); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop not caught: %v", err)
+	}
+}
+
+// daxpySrc computes y[i] += a*x[i] over n doubles, scalar version.
+const daxpyScalar = `
+	# a0=x base, a1=y base, a2=n, fa0=a
+loop:
+	beqz    a2, done
+	fld     fa1, 0(a0)
+	fld     fa2, 0(a1)
+	fmadd.d fa2, fa0, fa1, fa2
+	fsd     fa2, 0(a1)
+	addi    a0, a0, 8
+	addi    a1, a1, 8
+	addi    a2, a2, -1
+	j       loop
+done:
+	ecall
+`
+
+// daxpyVector is the RVV version (strip-mined by vsetvli).
+const daxpyVector = `
+	# a0=x base, a1=y base, a2=n, fa0=a
+loop:
+	beqz      a2, done
+	vsetvli   t0, a2, e64, m1
+	vle64.v   v1, (a0)
+	vle64.v   v2, (a1)
+	vfmacc.vf v2, fa0, v1
+	vse64.v   v2, (a1)
+	slli      t1, t0, 3
+	add       a0, a0, t1
+	add       a1, a1, t1
+	sub       a2, a2, t0
+	j         loop
+done:
+	ecall
+`
+
+func setupDaxpy(t *testing.T, src string, n int) (*Emulator, []float64, []float64) {
+	t.Helper()
+	e := mustEmu(t, src, 1<<20)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.5
+		y[i] = float64(n - i)
+	}
+	xBase := e.MemBase
+	yBase := e.MemBase + uint64(n*8)
+	if err := e.WriteF64(xBase, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteF64(yBase, y); err != nil {
+		t.Fatal(err)
+	}
+	e.X[10], e.X[11], e.X[12] = xBase, yBase, uint64(n)
+	e.F[10] = 2.5
+	return e, x, y
+}
+
+func TestDaxpyScalarCorrect(t *testing.T) {
+	const n = 77
+	e, x, y := setupDaxpy(t, daxpyScalar, n)
+	if _, err := e.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadF64(e.MemBase+uint64(n*8), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := y[i] + 2.5*x[i]
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestDaxpyVectorMatchesScalar(t *testing.T) {
+	const n = 77 // odd: exercises the vsetvli tail
+	es, _, _ := setupDaxpy(t, daxpyScalar, n)
+	if _, err := es.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	ev, _, _ := setupDaxpy(t, daxpyVector, n)
+	if _, err := ev.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	sres, err := es.ReadF64(es.MemBase+uint64(n*8), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := ev.ReadF64(ev.MemBase+uint64(n*8), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sres {
+		if sres[i] != vres[i] {
+			t.Fatalf("y[%d]: scalar %v vs vector %v", i, sres[i], vres[i])
+		}
+	}
+	if ev.Executed >= es.Executed {
+		t.Fatalf("vector executed %d instructions, scalar %d — vectorization lost",
+			ev.Executed, es.Executed)
+	}
+}
+
+func TestVectorFasterThanScalar(t *testing.T) {
+	const n = 4096
+	es, _, _ := setupDaxpy(t, daxpyScalar, n)
+	sres, err := es.Run(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _, _ := setupDaxpy(t, daxpyVector, n)
+	vres, err := ev.Run(1 << 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Cycles >= sres.Cycles {
+		t.Fatalf("RVV daxpy (%v cycles) not faster than scalar (%v)", vres.Cycles, sres.Cycles)
+	}
+}
+
+func TestVsetvliStripMining(t *testing.T) {
+	e := run(t, `
+		li      a0, 5
+		vsetvli t0, a0, e64, m1   # VLMAX=2 at VLEN=128 → t0=2
+		li      a1, 1
+		vsetvli t1, a1, e64, m1   # t1=1
+		li      a2, 100
+		vsetvli t2, a2, e32, m1   # VLMAX=4 at e32 → t2=4
+		ecall
+	`)
+	if e.X[5] != 2 || e.X[6] != 1 || e.X[7] != 4 {
+		t.Fatalf("vsetvli results = %d, %d, %d; want 2, 1, 4", e.X[5], e.X[6], e.X[7])
+	}
+}
+
+func TestVectorOpBeforeVsetvliFaults(t *testing.T) {
+	e := mustEmu(t, `
+		vfadd.vv v1, v2, v3
+		ecall
+	`, 1<<12)
+	if _, err := e.Run(10); err == nil {
+		t.Fatal("vector op before vsetvli did not fault")
+	}
+}
+
+func TestLaAndDataAccess(t *testing.T) {
+	// la resolves a code label; here we just verify the address arithmetic
+	// by loading the label's own first instruction word... instead, check
+	// la yields the label address exactly.
+	p, err := Assemble(`
+		la  a0, target
+		ecall
+	target:
+		addi x0, x0, 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.MustNew(machine.MangoPiD1())
+	e, err := NewEmulator(p, m, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Labels["target"]; e.X[10] != want {
+		t.Fatalf("la = %#x, want %#x", e.X[10], want)
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	e := run(t, `
+		li   t0, 5
+		li   t1, -3
+		li   a0, 0
+		blt  t1, t0, L1     # signed: taken
+		li   a0, 99
+	L1:
+		bltu t1, t0, L2     # unsigned: -3 is huge, NOT taken
+		addi a0, a0, 1
+	L2:
+		bge  t0, t1, L3     # taken
+		li   a0, 99
+	L3:
+		ecall
+	`)
+	if e.X[10] != 1 {
+		t.Fatalf("a0 = %d, want 1", e.X[10])
+	}
+}
+
+func TestProgramCounterOutOfRange(t *testing.T) {
+	// Falling off the end (no ecall) must fault, not wander.
+	e := mustEmu(t, "addi x1, x0, 1", 1<<12)
+	if _, err := e.Run(10); err == nil {
+		t.Fatal("fall-through did not fault")
+	}
+}

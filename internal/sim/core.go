@@ -1,0 +1,115 @@
+package sim
+
+// Core is one simulated hardware thread inside a Run region. All methods
+// must be called only from the goroutine executing that core's body.
+type Core struct {
+	id  int
+	m   *Machine
+	e   *engine // nil in single-core regions
+	now float64
+
+	// Vec marks the current loop as compiler-vectorized on devices whose
+	// toolchain auto-vectorizes (machine.Spec.AutoVecBytes > 0): element
+	// accesses and Flops are then costed at SIMD throughput. Kernels set it
+	// around the loops the paper says GCC vectorized; it is a no-op on the
+	// RISC-V presets, whose toolchain emitted scalar code.
+	Vec bool
+
+	// L0 line filter: the line touched by the previous access short-cuts
+	// the full TLB+L1 path, modelling the line-fill/store buffer that makes
+	// consecutive same-line accesses effectively free of lookup work.
+	lastLine  uint64
+	lastValid bool
+	lastDirty bool
+
+	// Stats
+	Loads  uint64
+	Stores uint64
+}
+
+// ID returns the core index within its region (0-based).
+func (c *Core) ID() int { return c.id }
+
+// NowCycles returns the core's current simulated time.
+func (c *Core) NowCycles() float64 { return c.now }
+
+// lanes returns the SIMD element multiplier for elemBytes-wide elements
+// under the current vectorization state.
+func (c *Core) lanes(elemBytes int) float64 {
+	if !c.Vec || c.m.spec.AutoVecBytes == 0 {
+		return 1
+	}
+	l := float64(c.m.spec.AutoVecBytes / elemBytes)
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// touch charges one element access of elemBytes at addr.
+func (c *Core) touch(addr uint64, elemBytes int, write bool) {
+	if write {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+	h := c.m.h
+	line := addr &^ uint64(h.LineSize()-1)
+	issue := h.Config().L1HitCycles / c.lanes(elemBytes)
+
+	// Same-line fast path. A write to a line last seen clean still needs
+	// the full path to set the dirty bit.
+	if c.lastValid && line == c.lastLine && (!write || c.lastDirty) {
+		c.now += issue
+		return
+	}
+
+	c.now += h.Translate(c.id, addr)
+	if h.L1Hit(c.id, addr) {
+		h.TouchL1(c.id, addr, write)
+		c.now += issue
+		c.lastLine, c.lastValid, c.lastDirty = line, true, write
+		return
+	}
+
+	// Miss: order globally, then walk the shared path. The exposed latency
+	// is scaled by the device's miss-overlap factor (out-of-order cores
+	// hide part of it behind independent work).
+	if c.e != nil {
+		c.e.enter(c.id, c.now)
+	}
+	done := h.MissPath(c.id, c.now, addr, write)
+	c.now += (done - c.now) * h.MissOverlap()
+	if c.e != nil {
+		c.e.leave(c.id, c.now)
+	}
+	c.lastLine, c.lastValid, c.lastDirty = line, true, write
+}
+
+// Touch charges one raw memory access of elemBytes at the simulated address
+// addr. It is the building block for substrates (like the RISC-V emulator)
+// that manage their own data layout instead of using F64/F32 arrays.
+func (c *Core) Touch(addr uint64, elemBytes int, write bool) {
+	c.touch(addr, elemBytes, write)
+}
+
+// Flops charges n floating-point operations at the device's scalar rate, or
+// SIMD rate inside a vectorized region (8-byte lanes assumed for Flops; use
+// Flops32 for single precision).
+func (c *Core) Flops(n float64) {
+	c.now += n / (c.m.spec.FlopsPerCycle * c.lanes(8))
+}
+
+// Flops32 charges n single-precision operations.
+func (c *Core) Flops32(n float64) {
+	c.now += n / (c.m.spec.FlopsPerCycle * c.lanes(4))
+}
+
+// IntOps charges n abstract integer/address/branch operations at the
+// device's issue width (loop overhead, index arithmetic).
+func (c *Core) IntOps(n float64) {
+	c.now += n / float64(c.m.spec.IssueWidth)
+}
+
+// Cycles charges a raw cycle count (fixed-function costs).
+func (c *Core) Cycles(n float64) { c.now += n }

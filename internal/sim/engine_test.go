@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEngineOrdersSharedEvents drives N simulated cores with random local
+// advances and checks that the engine grants shared sections in strictly
+// non-decreasing (time, coreID) order, producing the identical grant log on
+// every run regardless of host scheduling.
+func TestEngineOrdersSharedEvents(t *testing.T) {
+	type grant struct {
+		t  float64
+		id int
+	}
+	run := func(seed int64, cores int) []grant {
+		e := newEngine(cores)
+		var log []grant
+		var wg sync.WaitGroup
+		for id := 0; id < cores; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(id)))
+				now := 0.0
+				for i := 0; i < 200; i++ {
+					now += float64(rng.Intn(50)) // local work
+					e.enter(id, now)
+					log = append(log, grant{now, id}) // inside the section
+					now += 1 + float64(rng.Intn(20))  // shared work
+					e.leave(id, now)
+				}
+				e.finish(id)
+			}(id)
+		}
+		wg.Wait()
+		return log
+	}
+	for _, cores := range []int{2, 4, 10} {
+		a := run(42, cores)
+		for i := 1; i < len(a); i++ {
+			if a[i].t < a[i-1].t || (a[i].t == a[i-1].t && a[i].id < a[i-1].id) {
+				t.Fatalf("cores=%d: grant %d (t=%v id=%d) before %d (t=%v id=%d)",
+					cores, i-1, a[i-1].t, a[i-1].id, i, a[i].t, a[i].id)
+			}
+		}
+		b := run(42, cores)
+		if len(a) != len(b) {
+			t.Fatalf("cores=%d: log lengths differ", cores)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cores=%d: grant %d differs across runs: %+v vs %+v", cores, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestEngineNoDeadlockOnTies exercises the exact-tie path: all cores enter
+// at identical times repeatedly.
+func TestEngineNoDeadlockOnTies(t *testing.T) {
+	const cores = 8
+	e := newEngine(cores)
+	var wg sync.WaitGroup
+	for id := 0; id < cores; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tm := float64(i) // every core at the same time each round
+				e.enter(id, tm)
+				e.leave(id, tm) // zero-width section, same time
+			}
+			e.finish(id)
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	<-done
+}
+
+// TestEngineEarlyFinisherReleasesOthers: a core that finishes with a low
+// bound must stop constraining the survivors.
+func TestEngineEarlyFinisher(t *testing.T) {
+	e := newEngine(2)
+	res := make(chan struct{})
+	go func() {
+		e.enter(1, 1e9) // far in the future; blocked on core 0's bound 0
+		e.leave(1, 1e9+1)
+		e.finish(1)
+		close(res)
+	}()
+	e.finish(0) // core 0 never syncs; finishing must unblock core 1
+	<-res
+}

@@ -1,0 +1,90 @@
+package sim
+
+import "sync"
+
+// Schedule selects how ParallelFor distributes iterations, mirroring
+// OpenMP's schedule(static) and schedule(dynamic) clauses — the distinction
+// behind the paper's "Dynamic" transposition variant.
+type Schedule int
+
+const (
+	// Static splits the iteration space into one contiguous range per core.
+	Static Schedule = iota
+	// Dynamic hands out chunks of the given size on demand; cores that
+	// finish early (short rows of the triangular matrix) grab more work.
+	Dynamic
+)
+
+// dynGrabCycles is the simulated cost of one dynamic-schedule work grab
+// (atomic increment plus contention); charged per chunk.
+const dynGrabCycles = 40
+
+// dispenser is the shared chunk counter for dynamic scheduling. Grabs are
+// serialized through the engine, so assignment order follows simulated time
+// deterministically.
+type dispenser struct {
+	mu    sync.Mutex
+	next  int
+	limit int
+}
+
+func (d *dispenser) grab(chunk int) (lo, hi int, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.next >= d.limit {
+		return 0, 0, false
+	}
+	lo = d.next
+	hi = lo + chunk
+	if hi > d.limit {
+		hi = d.limit
+	}
+	d.next = hi
+	return lo, hi, true
+}
+
+// ParallelFor runs body for every i in [0,n) across `cores` simulated cores
+// under the given schedule. chunk applies to Dynamic (values < 1 become 1).
+// It returns the region result (wall time = slowest core).
+func (m *Machine) ParallelFor(cores, n int, sched Schedule, chunk int, body func(c *Core, i int)) Result {
+	if cores > m.spec.Cores {
+		cores = m.spec.Cores
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	switch sched {
+	case Dynamic:
+		d := &dispenser{limit: n}
+		return m.Run(cores, func(c *Core) {
+			for {
+				// The grab is a shared event: order it like any other.
+				if c.e != nil {
+					c.e.enter(c.id, c.now)
+				}
+				lo, hi, ok := d.grab(chunk)
+				c.now += dynGrabCycles
+				if c.e != nil {
+					c.e.leave(c.id, c.now)
+				}
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					body(c, i)
+				}
+			}
+		})
+	default: // Static
+		return m.Run(cores, func(c *Core) {
+			lo := c.id * n / cores
+			hi := (c.id + 1) * n / cores
+			for i := lo; i < hi; i++ {
+				body(c, i)
+			}
+		})
+	}
+}

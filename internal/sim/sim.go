@@ -1,0 +1,148 @@
+// Package sim executes kernels against a simulated machine.
+//
+// A Machine owns a device Spec (internal/machine), its memory hierarchy
+// (internal/hier), a simulated physical address space, and a monotonically
+// advancing global clock. Kernels are ordinary Go functions that read and
+// write simulated arrays (F64/F32); each element access is charged to the
+// executing Core's clock through the hierarchy's timing path, while the data
+// itself lives in ordinary Go slices so results stay functionally correct
+// and testable.
+//
+// Parallel regions run one goroutine per simulated core under a conservative
+// discrete-event engine that orders all shared-state events by simulated
+// time, making every run bit-for-bit deterministic regardless of host
+// scheduling.
+package sim
+
+import (
+	"fmt"
+
+	"riscvmem/internal/hier"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/units"
+)
+
+const pageSize = 4096
+
+// Machine is a simulated device instance.
+type Machine struct {
+	spec machine.Spec
+	h    *hier.Hierarchy
+	// clock is the global epoch: each Run starts its cores here and pushes
+	// it to the region's completion time, so DRAM queue state and cache
+	// contents stay consistent across successive regions of one kernel.
+	clock float64
+	next  uint64 // bump allocator cursor
+	used  int64  // bytes allocated
+}
+
+// New instantiates a machine from a validated spec.
+func New(spec machine.Spec) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{spec: spec, h: spec.NewHierarchy(), next: pageSize}, nil
+}
+
+// MustNew is New but panics on invalid specs (the built-in presets are
+// covered by tests).
+func MustNew(spec machine.Spec) *Machine {
+	m, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Spec returns the device description.
+func (m *Machine) Spec() machine.Spec { return m.spec }
+
+// Hier exposes the memory hierarchy (stats inspection, ablations).
+func (m *Machine) Hier() *hier.Hierarchy { return m.h }
+
+// Now returns the machine's global clock in cycles.
+func (m *Machine) Now() float64 { return m.clock }
+
+// Allocated returns total simulated bytes allocated so far.
+func (m *Machine) Allocated() int64 { return m.used }
+
+// alloc reserves n bytes of simulated address space, page-aligned, and
+// errors when the device's RAM would be exceeded.
+func (m *Machine) alloc(n int64) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("sim: allocation of %d bytes", n)
+	}
+	if !m.spec.Fits(m.used + n) {
+		return 0, fmt.Errorf("sim: %s does not fit in %s RAM of %s",
+			units.Bytes(m.used+n), units.Bytes(m.spec.RAMBytes), m.spec.Name)
+	}
+	base := m.next
+	m.next += (uint64(n) + pageSize - 1) / pageSize * pageSize
+	m.used += n
+	return base, nil
+}
+
+// AllocRaw reserves n bytes of simulated address space (page-aligned) for
+// callers that keep their own backing store, such as the RISC-V emulator's
+// flat memory. It errors when the device's RAM would be exceeded.
+func (m *Machine) AllocRaw(n int64) (uint64, error) { return m.alloc(n) }
+
+// Result reports one executed region.
+type Result struct {
+	Cycles  float64   // wall time of the region in core cycles
+	PerCore []float64 // per-core busy time
+}
+
+// Seconds converts the region's wall time at the machine's clock rate.
+func (r Result) Seconds(spec machine.Spec) float64 {
+	return units.Seconds(r.Cycles, spec.FreqGHz)
+}
+
+// Run executes body once per simulated core (cores index 0..n-1) and returns
+// the region wall time: the maximum core completion time minus the region
+// start. n must not exceed the device's core count.
+func (m *Machine) Run(n int, body func(c *Core)) Result {
+	if n < 1 || n > m.spec.Cores {
+		panic(fmt.Sprintf("sim: %d cores requested on %d-core %s", n, m.spec.Cores, m.spec.Name))
+	}
+	start := m.clock
+	cores := make([]*Core, n)
+	var e *engine
+	if n > 1 {
+		e = newEngine(n)
+	}
+	for i := range cores {
+		cores[i] = &Core{id: i, m: m, e: e, now: start}
+	}
+	if n == 1 {
+		body(cores[0])
+	} else {
+		done := make(chan int, n)
+		for i := range cores {
+			go func(c *Core) {
+				body(c)
+				c.e.finish(c.id)
+				done <- c.id
+			}(cores[i])
+		}
+		for range cores {
+			<-done
+		}
+	}
+	res := Result{PerCore: make([]float64, n)}
+	end := start
+	for i, c := range cores {
+		res.PerCore[i] = c.now - start
+		if c.now > end {
+			end = c.now
+		}
+	}
+	res.Cycles = end - start
+	m.clock = end
+	return res
+}
+
+// RunSeq executes body on core 0 alone.
+func (m *Machine) RunSeq(body func(c *Core)) Result {
+	return m.Run(1, body)
+}

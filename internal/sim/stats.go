@@ -1,0 +1,46 @@
+package sim
+
+// Summary aggregates the machine's memory-system counters across all cores
+// — the numbers behind the paper's qualitative explanations (miss rates,
+// TLB walk counts, DRAM traffic, prefetch activity).
+type Summary struct {
+	L1Hits        uint64
+	L1Misses      uint64
+	TLBWalks      uint64
+	DRAMReads     uint64
+	DRAMWrites    uint64
+	DRAMBytes     uint64
+	QueueCycles   float64
+	PrefetchFills uint64
+}
+
+// L1MissRate returns misses / (hits+misses), or 0 with no accesses.
+func (s Summary) L1MissRate() float64 {
+	if t := s.L1Hits + s.L1Misses; t > 0 {
+		return float64(s.L1Misses) / float64(t)
+	}
+	return 0
+}
+
+// Stats snapshots the machine's aggregate memory-system counters.
+//
+// Note that the per-core L0 line filter satisfies repeated same-line
+// accesses before they reach the L1 model, so L1Hits counts line-level
+// activity, not raw element accesses.
+func (m *Machine) Stats() Summary {
+	var s Summary
+	for core := 0; core < m.spec.Cores; core++ {
+		l1 := m.h.L1Stats(core)
+		s.L1Hits += l1.Hits
+		s.L1Misses += l1.Misses
+		_, walks := m.h.TLBStats(core)
+		s.TLBWalks += walks
+	}
+	d := m.h.DRAM().Stats
+	s.DRAMReads = d.Reads
+	s.DRAMWrites = d.Writes
+	s.DRAMBytes = d.Bytes()
+	s.QueueCycles = d.QueueCycles
+	s.PrefetchFills = m.h.PrefetchFills
+	return s
+}

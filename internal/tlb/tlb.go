@@ -1,0 +1,161 @@
+// Package tlb models translation lookaside buffers and the cost of Sv39
+// page-table walks.
+//
+// TLB behaviour matters for the paper's transposition experiment: the naive
+// column-major walk of an 8192×8192 double matrix strides 64 KiB between
+// consecutive accesses, touching a new 4 KiB page every time — the D1's
+// 10-entry D-uTLB and 128-entry jTLB (and the U74's 40-entry DTLB / 512-entry
+// L2 TLB, §3.1) thrash long before the caches do. Blocking restores page
+// locality, which is part of why it wins on every device.
+package tlb
+
+import (
+	"fmt"
+
+	"riscvmem/internal/units"
+)
+
+// Config describes one TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	// Ways is the associativity; Ways == Entries models a fully associative
+	// TLB (the D1's uTLB), Ways == 1 a direct-mapped one (the U74's L2 TLB).
+	Ways      int
+	PageShift uint // log2(page size); 12 for the 4 KiB pages used throughout
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 || c.Ways > c.Entries {
+		return fmt.Errorf("tlb %s: bad entries/ways %d/%d", c.Name, c.Entries, c.Ways)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb %s: entries %d not divisible by ways %d", c.Name, c.Entries, c.Ways)
+	}
+	if sets := int64(c.Entries / c.Ways); !units.IsPow2(sets) {
+		return fmt.Errorf("tlb %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.PageShift == 0 {
+		return fmt.Errorf("tlb %s: zero page shift", c.Name)
+	}
+	return nil
+}
+
+// Stats counts lookups.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns total lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+type entry struct {
+	vpn   uint64
+	used  uint64
+	valid bool
+}
+
+// TLB is one translation cache level, LRU-replaced within each set.
+type TLB struct {
+	cfg     Config
+	sets    [][]entry
+	setMask uint64
+	clock   uint64
+	Stats   Stats
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Entries / cfg.Ways
+	t := &TLB{cfg: cfg, sets: make([][]entry, nsets), setMask: uint64(nsets - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]entry, cfg.Ways)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for validated presets.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the construction configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup reports whether the page containing vaddr is cached, updating
+// recency and statistics. It does not insert on miss; composition across
+// levels is explicit via Insert.
+func (t *TLB) Lookup(vaddr uint64) bool {
+	vpn := vaddr >> t.cfg.PageShift
+	set := t.sets[vpn&t.setMask]
+	t.clock++
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].used = t.clock
+			t.Stats.Hits++
+			return true
+		}
+	}
+	t.Stats.Misses++
+	return false
+}
+
+// Insert caches the translation for the page containing vaddr, evicting the
+// LRU entry of its set if needed.
+func (t *TLB) Insert(vaddr uint64) {
+	vpn := vaddr >> t.cfg.PageShift
+	set := t.sets[vpn&t.setMask]
+	t.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].used = t.clock // refresh
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, used: t.clock, valid: true}
+}
+
+// Reset clears entries and statistics.
+func (t *TLB) Reset() {
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			t.sets[i][j] = entry{}
+		}
+	}
+	t.clock = 0
+	t.Stats = Stats{}
+}
+
+// Walker charges the cost of resolving a translation miss. Sv39 uses a
+// three-level table; we charge a fixed per-level cost calibrated to the
+// device (page-table entries mostly hit in L2/DRAM; modelling the walk as a
+// latency constant keeps the simulator first-order while preserving the
+// "column walks thrash the TLB" effect the paper's blocking results rely on).
+type Walker struct {
+	Levels         int     // 3 for Sv39
+	CyclesPerLevel float64 // per-level memory cost
+	Walks          uint64  // statistic
+}
+
+// Walk returns the cycle cost of one full table walk.
+func (w *Walker) Walk() float64 {
+	w.Walks++
+	return float64(w.Levels) * w.CyclesPerLevel
+}

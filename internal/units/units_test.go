@@ -1,0 +1,84 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{Bytes(32 * KiB), "32 KiB"},
+		{Bytes(1536 * KiB), "1.5 MiB"},
+		{Bytes(GiB), "1 GiB"},
+		{Bytes(8 * GiB), "8 GiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesPerSecString(t *testing.T) {
+	cases := []struct {
+		in   BytesPerSec
+		want string
+	}{
+		{12.34e9, "12.34 GB/s"},
+		{800e6, "800.00 MB/s"},
+		{999, "999 B/s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("BytesPerSec(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+	if got := BytesPerSec(2.5e9).GBps(); got != 2.5 {
+		t.Errorf("GBps = %v, want 2.5", got)
+	}
+}
+
+func TestSecondsAndBandwidth(t *testing.T) {
+	// 1e9 cycles at 1 GHz is exactly one second.
+	if got := Seconds(1e9, 1.0); got != 1.0 {
+		t.Errorf("Seconds = %v, want 1", got)
+	}
+	// 3.4 GHz: 3.4e9 cycles = 1 s.
+	if got := Seconds(3.4e9, 3.4); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds = %v, want 1", got)
+	}
+	// 16 GB moved in 1e9 cycles @ 1 GHz = 16 GB/s.
+	bw := Bandwidth(16e9, 1e9, 1.0)
+	if math.Abs(bw.GBps()-16.0) > 1e-9 {
+		t.Errorf("Bandwidth = %v, want 16 GB/s", bw)
+	}
+	if Bandwidth(100, 0, 1.0) != 0 {
+		t.Error("zero-time bandwidth should be 0")
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int64{1, 2, 4, 64, 1 << 30} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{0, -2, 3, 6, 96, 100} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int64]uint{1: 0, 2: 1, 64: 6, 128: 7, 1 << 20: 20}
+	for in, want := range cases {
+		if got := Log2(in); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package riscvmem is a reproduction of "Case Study for Running Memory-Bound
+// Kernels on RISC-V CPUs" (Volokitin et al., PACT 2023) as a Go library.
+//
+// The paper benchmarks three memory-bound kernels — STREAM, in-place dense
+// matrix transposition, and Gaussian blur — on two early RISC-V boards, a
+// Raspberry Pi 4 and an Intel Xeon server, asking whether classic memory
+// optimization techniques carry over to RISC-V silicon. Since the study is
+// inseparable from its hardware, this library ships a deterministic,
+// cycle-approximate simulator of all four devices (set-associative caches,
+// TLBs, hardware prefetchers, multi-channel DRAM, in-order/out-of-order core
+// cost models, an OpenMP-like parallel runtime) and runs functionally
+// verified implementations of all the paper's kernel variants against it.
+// See DESIGN.md for the full substitution argument.
+//
+// # Quick start
+//
+//	suite := riscvmem.NewSuite(riscvmem.Options{Scale: 8})
+//	rows, err := suite.Fig2() // the transposition study, all devices
+//
+// Or drive a single kernel on a single simulated device:
+//
+//	res, err := riscvmem.RunTranspose(riscvmem.VisionFive(),
+//	    riscvmem.TransposeConfig{N: 1024, Variant: riscvmem.TransposeBlocking})
+//
+// Every run is bit-for-bit deterministic: times come from the simulated
+// clock, never the host's.
+package riscvmem
+
+import (
+	"riscvmem/internal/core"
+	"riscvmem/internal/kernels/blur"
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/kernels/transpose"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/sim"
+	"riscvmem/internal/units"
+)
+
+// Device describes a simulated machine (core counts, cache/TLB/prefetch/DRAM
+// geometry, cost model). Build custom devices by modifying a preset.
+type Device = machine.Spec
+
+// The paper's four devices (§3.1).
+var (
+	MangoPiD1    = machine.MangoPiD1
+	VisionFive   = machine.VisionFive
+	RaspberryPi4 = machine.RaspberryPi4
+	XeonServer   = machine.XeonServer
+)
+
+// Devices returns the paper's four machines in figure order.
+func Devices() []Device { return machine.All() }
+
+// DeviceByName looks a preset up by its short name
+// ("Xeon", "RaspberryPi4", "VisionFive", "MangoPi").
+func DeviceByName(name string) (Device, error) { return machine.ByName(name) }
+
+// Machine is a live simulated device instance; Core is one simulated
+// hardware thread inside a parallel region. Use them to write custom kernels
+// against the timing model (see examples/customdevice).
+type (
+	Machine = sim.Machine
+	Core    = sim.Core
+)
+
+// NewMachine instantiates a device.
+func NewMachine(d Device) (*Machine, error) { return sim.New(d) }
+
+// Schedules for Machine.ParallelFor, mirroring OpenMP.
+const (
+	Static  = sim.Static
+	Dynamic = sim.Dynamic
+)
+
+// BytesPerSec is a bandwidth; it formats as "12.34 GB/s".
+type BytesPerSec = units.BytesPerSec
+
+// STREAM (§4.1).
+type (
+	// StreamTest is COPY, SCALE, SUM or TRIAD.
+	StreamTest = stream.Test
+	// StreamConfig sizes one STREAM measurement.
+	StreamConfig = stream.Config
+	// StreamMeasurement is the result, with the best bandwidth achieved.
+	StreamMeasurement = stream.Measurement
+)
+
+// The four STREAM tests.
+const (
+	StreamCopy  = stream.Copy
+	StreamScale = stream.Scale
+	StreamSum   = stream.Sum
+	StreamTriad = stream.Triad
+)
+
+// StreamTests returns all four tests in reporting order.
+func StreamTests() []StreamTest { return stream.Tests() }
+
+// RunStream executes one STREAM measurement on a fresh simulated device.
+func RunStream(d Device, cfg StreamConfig) (StreamMeasurement, error) { return stream.Run(d, cfg) }
+
+// StreamLevels derives the measurable memory levels of a device, sized per
+// the paper's method (scale divides only the DRAM working set).
+func StreamLevels(d Device, scale int) []stream.Level { return stream.Levels(d, scale) }
+
+// Matrix transposition (§4.2).
+type (
+	// TransposeVariant is one of the five implementations.
+	TransposeVariant = transpose.Variant
+	// TransposeConfig sizes one run.
+	TransposeConfig = transpose.Config
+	// TransposeResult carries the simulated time.
+	TransposeResult = transpose.Result
+)
+
+// The five transposition variants of Fig. 2.
+const (
+	TransposeNaive          = transpose.Naive
+	TransposeParallel       = transpose.Parallel
+	TransposeBlocking       = transpose.Blocking
+	TransposeManualBlocking = transpose.ManualBlocking
+	TransposeDynamic        = transpose.Dynamic
+)
+
+// TransposeVariants returns the five variants in figure order.
+func TransposeVariants() []TransposeVariant { return transpose.Variants() }
+
+// RunTranspose executes one transposition variant on a fresh device.
+func RunTranspose(d Device, cfg TransposeConfig) (TransposeResult, error) {
+	return transpose.Run(d, cfg)
+}
+
+// Gaussian blur (§4.3).
+type (
+	// BlurVariant is one of the five implementations.
+	BlurVariant = blur.Variant
+	// BlurConfig sizes one run.
+	BlurConfig = blur.Config
+	// BlurResult carries the simulated time.
+	BlurResult = blur.Result
+)
+
+// The five blur variants of Fig. 6.
+const (
+	BlurNaive      = blur.Naive
+	BlurUnitStride = blur.UnitStride
+	BlurOneD       = blur.OneD
+	BlurMemory     = blur.Memory
+	BlurParallel   = blur.Parallel
+)
+
+// BlurVariants returns the five variants in figure order.
+func BlurVariants() []BlurVariant { return blur.Variants() }
+
+// RunBlur executes one blur variant on a fresh device.
+func RunBlur(d Device, cfg BlurConfig) (BlurResult, error) { return blur.Run(d, cfg) }
+
+// Experiment suite: regenerates the paper's figures.
+type (
+	// Options configures a Suite (scale, device list, verification).
+	Options = core.Options
+	// Suite runs the figure experiments, caching STREAM bandwidths.
+	Suite = core.Suite
+	// Figure row types.
+	Fig1Cell = core.Fig1Cell
+	Fig2Row  = core.Fig2Row
+	Fig3Row  = core.Fig3Row
+	Fig6Row  = core.Fig6Row
+	Fig7Row  = core.Fig7Row
+)
+
+// NewSuite builds an experiment suite.
+func NewSuite(opt Options) *Suite { return core.NewSuite(opt) }
+
+// Paper-scale workload constants (§4).
+const (
+	PaperMatrixSmall = core.PaperMatrixSmall
+	PaperMatrixLarge = core.PaperMatrixLarge
+	PaperImageW      = core.PaperImageW
+	PaperImageH      = core.PaperImageH
+	PaperImageC      = core.PaperImageC
+	PaperFilter      = core.PaperFilter
+)

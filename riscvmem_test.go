@@ -1,0 +1,123 @@
+package riscvmem_test
+
+import (
+	"testing"
+
+	"riscvmem"
+)
+
+func TestDevicesFacade(t *testing.T) {
+	devs := riscvmem.Devices()
+	if len(devs) != 4 {
+		t.Fatalf("Devices() = %d entries", len(devs))
+	}
+	for _, d := range devs {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		got, err := riscvmem.DeviceByName(d.Name)
+		if err != nil || got.Name != d.Name {
+			t.Errorf("DeviceByName(%q) = %v, %v", d.Name, got.Name, err)
+		}
+	}
+	if _, err := riscvmem.DeviceByName("PDP-11"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestKernelFacades(t *testing.T) {
+	dev := riscvmem.MangoPiD1()
+
+	m, err := riscvmem.RunStream(dev, riscvmem.StreamConfig{Test: riscvmem.StreamTriad, Elems: 1024, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Best <= 0 {
+		t.Error("stream reported no bandwidth")
+	}
+
+	tr, err := riscvmem.RunTranspose(dev, riscvmem.TransposeConfig{
+		N: 128, Variant: riscvmem.TransposeBlocking, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seconds <= 0 {
+		t.Error("transpose took no time")
+	}
+
+	bl, err := riscvmem.RunBlur(dev, riscvmem.BlurConfig{
+		W: 24, H: 20, C: 3, F: 5, Variant: riscvmem.BlurOneD, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Seconds <= 0 {
+		t.Error("blur took no time")
+	}
+}
+
+func TestVariantEnumerations(t *testing.T) {
+	if len(riscvmem.StreamTests()) != 4 {
+		t.Error("expected 4 STREAM tests")
+	}
+	if len(riscvmem.TransposeVariants()) != 5 {
+		t.Error("expected 5 transpose variants")
+	}
+	if len(riscvmem.BlurVariants()) != 5 {
+		t.Error("expected 5 blur variants")
+	}
+}
+
+func TestCustomMachineKernel(t *testing.T) {
+	// The raw Machine/Core API used by examples/customdevice.
+	m, err := riscvmem.NewMachine(riscvmem.VisionFive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.NewF64(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.ParallelFor(2, a.Len(), riscvmem.Static, 0, func(c *riscvmem.Core, i int) {
+		a.Store(c, i, float64(i))
+	})
+	if res.Cycles <= 0 {
+		t.Fatal("no simulated time")
+	}
+	for i, v := range a.Data {
+		if v != float64(i) {
+			t.Fatalf("a[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSuiteFacade(t *testing.T) {
+	suite := riscvmem.NewSuite(riscvmem.Options{
+		Scale:   64,
+		Devices: []riscvmem.Device{riscvmem.MangoPiD1()},
+		Reps:    1,
+	})
+	rows, err := suite.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 1 device × 2 sizes × 5 variants
+		t.Fatalf("Fig2 rows = %d", len(rows))
+	}
+	bw, err := suite.DRAMBandwidth(riscvmem.MangoPiD1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw <= 0 {
+		t.Error("no DRAM bandwidth")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if riscvmem.PaperMatrixSmall != 8192 || riscvmem.PaperMatrixLarge != 16384 {
+		t.Error("matrix constants drifted from §4.2")
+	}
+	if riscvmem.PaperImageW != 2544 || riscvmem.PaperImageH != 2027 ||
+		riscvmem.PaperImageC != 3 || riscvmem.PaperFilter != 19 {
+		t.Error("image constants drifted from §4.3")
+	}
+}

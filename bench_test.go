@@ -226,6 +226,34 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkTouchRangeThroughput measures the same streaming element-access
+// pattern as BenchmarkSimulatorThroughput charged through the bulk range
+// API (F64.LoadRange → Core.TouchRange): one fused lookup per cache line
+// instead of per element. ns/op is still host time per simulated element.
+func BenchmarkTouchRangeThroughput(b *testing.B) {
+	dev := riscvmem.MangoPiD1()
+	m, err := riscvmem.NewMachine(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 16
+	arr, err := m.NewF64(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	m.RunSeq(func(c *riscvmem.Core) {
+		for done := 0; done < b.N; {
+			chunk := n
+			if left := b.N - done; left < chunk {
+				chunk = left
+			}
+			arr.LoadRange(c, 0, chunk)
+			done += chunk
+		}
+	})
+}
+
 // Compile-time check that the hier types remain exported for custom devices
 // (used by examples/customdevice).
 var _ = hier.Level{}

@@ -1,0 +1,3 @@
+module riscvmem
+
+go 1.24

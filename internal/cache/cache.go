@@ -95,28 +95,49 @@ func (s Stats) HitRate() float64 {
 	return 0
 }
 
+// line packs one cache line's metadata into two words so a set scan loads
+// half the memory of a field-per-flag layout and the tag+valid match is a
+// single masked compare: meta holds tag<<2 | dirty<<1 | valid, used holds
+// the LRU timestamp / FIFO sequence.
 type line struct {
-	tag   uint64
-	used  uint64 // LRU timestamp / FIFO sequence
-	valid bool
-	dirty bool
+	meta uint64
+	used uint64
 }
 
-type set struct {
-	lines []line
-	plru  uint64 // tree bits for PLRU
-	seq   uint64 // FIFO insertion counter
+const (
+	lineValid = 1 << 0
+	lineDirty = 1 << 1
+	tagShift  = 2
+)
+
+// memoEntries sizes the direct-mapped way memo; a power of two.
+const memoEntries = 256
+
+// wayMemo remembers which way last held a line so repeated accesses to hot
+// lines skip the associative scan. It is purely an accelerator: every use
+// re-validates the way against the authoritative tag state, so hit/miss
+// outcomes, replacement decisions and statistics are identical with or
+// without it.
+type wayMemo struct {
+	key uint64 // line number + 1; 0 means empty
+	way int32
 }
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. All sets live in one contiguous
+// line array (set s occupies lines[s*ways : (s+1)*ways]) so the per-access
+// path costs a single indirection.
 type Cache struct {
 	cfg       Config
-	sets      []set
+	lines     []line   // all sets, contiguous
+	plru      []uint64 // per-set PLRU tree bits
+	seq       []uint64 // per-set FIFO insertion counters
+	ways      int
 	lineShift uint
 	setShift  uint
 	setMask   uint64
 	clock     uint64 // global recency counter
 	rng       uint64 // xorshift state for Random
+	memo      [memoEntries]wayMemo
 	Stats     Stats
 }
 
@@ -137,18 +158,17 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nsets := cfg.Sets()
-	c := &Cache{
+	return &Cache{
 		cfg:       cfg,
-		sets:      make([]set, nsets),
+		lines:     make([]line, nsets*int64(cfg.Ways)),
+		plru:      make([]uint64, nsets),
+		seq:       make([]uint64, nsets),
+		ways:      cfg.Ways,
 		lineShift: units.Log2(cfg.LineSize),
 		setShift:  units.Log2(nsets),
 		setMask:   uint64(nsets - 1),
 		rng:       cfg.Seed | 1, // xorshift state must be nonzero
-	}
-	for i := range c.sets {
-		c.sets[i].lines = make([]line, cfg.Ways)
-	}
-	return c, nil
+	}, nil
 }
 
 // MustNew is New but panics on configuration errors; used for the fixed
@@ -167,194 +187,271 @@ func (c *Cache) Config() Config { return c.cfg }
 // LineSize returns the cache line size in bytes.
 func (c *Cache) LineSize() int64 { return c.cfg.LineSize }
 
-// lineAddr maps a byte address to its line-aligned address.
-func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+// find returns the index into c.lines holding line number ln, consulting the
+// way memo before falling back to the associative scan, or -1 on a miss.
+// base is the set's first index (set*ways); tag the line's tag.
+func (c *Cache) find(base int, ln, tag uint64) int {
+	want := tag<<tagShift | lineValid
+	m := &c.memo[ln&(memoEntries-1)]
+	if m.key == ln+1 {
+		if c.lines[base+int(m.way)].meta&^lineDirty == want {
+			return base + int(m.way)
+		}
+	}
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		if set[i].meta&^lineDirty == want {
+			m.key, m.way = ln+1, int32(i)
+			return base + i
+		}
+	}
+	return -1
+}
 
-func (c *Cache) locate(addr uint64) (idx int, tag uint64) {
-	ln := addr >> c.lineShift
-	return int(ln & c.setMask), ln >> c.setShift
+// findScan is find without the way-memo probe, for callers whose lookups
+// have no temporal locality (prefetch residency checks): a cold memo line
+// costs a host cache miss and never hits there.
+func (c *Cache) findScan(base int, tag uint64) int {
+	want := tag<<tagShift | lineValid
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		if set[i].meta&^lineDirty == want {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // Access performs a demand read or write of the line containing addr,
-// allocating on miss (write-allocate) and reporting any eviction.
+// allocating on miss (write-allocate) and reporting any eviction. It is
+// fused twice over: one tag lookup both detects the hit and applies the
+// recency/dirty update (no Probe-then-Access pair), and on a miss the same
+// scan has already located the install victim (first invalid way, or the
+// LRU/FIFO minimum) so no second walk runs.
 func (c *Cache) Access(addr uint64, write bool) Result {
-	idx, tag := c.locate(addr)
-	s := &c.sets[idx]
+	ln := addr >> c.lineShift
+	set, tag := int(ln&c.setMask), ln>>c.setShift
+	base := set * c.ways
 	c.clock++
-	for i := range s.lines {
-		l := &s.lines[i]
-		if l.valid && l.tag == tag {
+	want := tag<<tagShift | lineValid
+	m := &c.memo[ln&(memoEntries-1)]
+	if m.key == ln+1 {
+		if l := &c.lines[base+int(m.way)]; l.meta&^lineDirty == want {
 			if c.cfg.Policy != FIFO { // FIFO ignores recency on hit
 				l.used = c.clock
 			}
 			if write {
-				l.dirty = true
+				l.meta |= lineDirty
 			}
-			c.touchPLRU(s, i)
+			c.touchPLRU(set, int(m.way))
 			c.Stats.Hits++
 			return Result{Hit: true}
 		}
 	}
+	lines := c.lines[base : base+c.ways]
+	victim, minUsed, invalidAt := -1, ^uint64(0), -1
+	for i := range lines {
+		l := &lines[i]
+		if l.meta&^lineDirty == want {
+			m.key, m.way = ln+1, int32(i)
+			if c.cfg.Policy != FIFO {
+				l.used = c.clock
+			}
+			if write {
+				l.meta |= lineDirty
+			}
+			c.touchPLRU(set, i)
+			c.Stats.Hits++
+			return Result{Hit: true}
+		}
+		if l.meta&lineValid == 0 {
+			if invalidAt < 0 {
+				invalidAt = i
+			}
+		} else if l.used < minUsed {
+			victim, minUsed = i, l.used
+		}
+	}
 	c.Stats.Misses++
-	return c.install(idx, tag, write)
+	if invalidAt >= 0 { // the first invalid way always wins, as in install
+		victim = invalidAt
+	} else if c.cfg.Policy == Random || c.cfg.Policy == PLRU {
+		victim = c.pickVictim(set)
+	}
+	return c.installAt(set, victim, tag, write)
+}
+
+// installAt installs into a pre-selected victim way (from Access's fused
+// scan), identical to install's LRU/FIFO choice.
+func (c *Cache) installAt(set, victim int, tag uint64, dirty bool) Result {
+	base := set * c.ways
+	var res Result
+	if v := &c.lines[base+victim]; v.meta&lineValid != 0 {
+		res.EvictedValid = true
+		res.EvictedDirty = v.meta&lineDirty != 0
+		res.Evicted = ((v.meta >> tagShift << c.setShift) | uint64(set)) << c.lineShift
+		if res.EvictedDirty {
+			c.Stats.Writebacks++
+		}
+	}
+	meta := tag<<tagShift | lineValid
+	if dirty {
+		meta |= lineDirty
+	}
+	c.seq[set]++
+	c.lines[base+victim] = line{meta: meta, used: c.clock}
+	if c.cfg.Policy == FIFO {
+		c.lines[base+victim].used = c.seq[set]
+	}
+	ln := tag<<c.setShift | uint64(set)
+	c.memo[ln&(memoEntries-1)] = wayMemo{key: ln + 1, way: int32(victim)}
+	c.touchPLRU(set, victim)
+	c.Stats.Installs++
+	return res
 }
 
 // Probe reports whether the line containing addr is present, without
 // changing any replacement state.
 func (c *Cache) Probe(addr uint64) bool {
-	idx, tag := c.locate(addr)
-	s := &c.sets[idx]
-	for i := range s.lines {
-		if s.lines[i].valid && s.lines[i].tag == tag {
-			return true
-		}
-	}
-	return false
+	ln := addr >> c.lineShift
+	set, tag := int(ln&c.setMask), ln>>c.setShift
+	return c.findScan(set*c.ways, tag) >= 0
 }
 
 // Install brings the line containing addr into the cache without counting a
 // demand access (used for prefetch fills). It reports the eviction exactly
 // like Access. Installing an already-present line refreshes its recency.
 func (c *Cache) Install(addr uint64, dirty bool) Result {
-	idx, tag := c.locate(addr)
-	s := &c.sets[idx]
+	ln := addr >> c.lineShift
+	set, tag := int(ln&c.setMask), ln>>c.setShift
+	base := set * c.ways
 	c.clock++
-	for i := range s.lines {
-		l := &s.lines[i]
-		if l.valid && l.tag == tag {
-			if c.cfg.Policy != FIFO {
-				l.used = c.clock
-			}
-			l.dirty = l.dirty || dirty
-			c.touchPLRU(s, i)
-			return Result{Hit: true}
+	if i := c.find(base, ln, tag); i >= 0 {
+		l := &c.lines[i]
+		if c.cfg.Policy != FIFO {
+			l.used = c.clock
 		}
+		if dirty {
+			l.meta |= lineDirty
+		}
+		c.touchPLRU(set, i-base)
+		return Result{Hit: true}
 	}
-	return c.install(idx, tag, dirty)
+	return c.install(set, tag, dirty)
 }
 
 // Invalidate drops the line containing addr if present, reporting whether it
 // was dirty (the caller owns the resulting writeback traffic).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	idx, tag := c.locate(addr)
-	s := &c.sets[idx]
-	for i := range s.lines {
-		l := &s.lines[i]
-		if l.valid && l.tag == tag {
-			l.valid = false
-			return true, l.dirty
-		}
+	ln := addr >> c.lineShift
+	set, tag := int(ln&c.setMask), ln>>c.setShift
+	if i := c.find(set*c.ways, ln, tag); i >= 0 {
+		c.lines[i].meta &^= lineValid
+		return true, c.lines[i].meta&lineDirty != 0
 	}
 	return false, false
 }
 
 // Reset empties the cache and zeroes the statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i].lines {
-			c.sets[i].lines[j] = line{}
-		}
-		c.sets[i].plru = 0
-		c.sets[i].seq = 0
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.plru {
+		c.plru[i] = 0
+		c.seq[i] = 0
 	}
 	c.clock = 0
 	c.rng = c.cfg.Seed | 1
+	c.memo = [memoEntries]wayMemo{}
 	c.Stats = Stats{}
 }
 
 // ValidLines counts currently valid lines (used by capacity invariant tests).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i].lines {
-			if c.sets[i].lines[j].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].meta&lineValid != 0 {
+			n++
 		}
 	}
 	return n
 }
 
-func (c *Cache) install(idx int, tag uint64, dirty bool) Result {
-	s := &c.sets[idx]
+func (c *Cache) install(set int, tag uint64, dirty bool) Result {
+	base := set * c.ways
 	victim := -1
-	for i := range s.lines {
-		if !s.lines[i].valid {
-			victim = i
-			break
+	switch c.cfg.Policy {
+	case Random, PLRU:
+		for i := base; i < base+c.ways; i++ {
+			if c.lines[i].meta&lineValid == 0 {
+				victim = i - base
+				break
+			}
+		}
+		if victim < 0 {
+			victim = c.pickVictim(set)
+		}
+	default:
+		// LRU and FIFO evict the minimum `used` stamp; one pass finds the
+		// first invalid way or, failing that, that victim.
+		min := ^uint64(0)
+		for i := base; i < base+c.ways; i++ {
+			if c.lines[i].meta&lineValid == 0 {
+				victim = i - base
+				break
+			}
+			if c.lines[i].used < min {
+				victim, min = i-base, c.lines[i].used
+			}
 		}
 	}
-	var res Result
-	if victim < 0 {
-		victim = c.pickVictim(s)
-		v := &s.lines[victim]
-		res.EvictedValid = true
-		res.EvictedDirty = v.dirty
-		res.Evicted = ((v.tag << c.setShift) | uint64(idx)) << c.lineShift
-		if v.dirty {
-			c.Stats.Writebacks++
-		}
-	}
-	s.seq++
-	s.lines[victim] = line{tag: tag, used: c.clock, valid: true, dirty: dirty}
-	if c.cfg.Policy == FIFO {
-		s.lines[victim].used = s.seq
-	}
-	c.touchPLRU(s, victim)
-	c.Stats.Installs++
-	return res
+	return c.installAt(set, victim, tag, dirty)
 }
 
-func (c *Cache) pickVictim(s *set) int {
+func (c *Cache) pickVictim(set int) int {
 	switch c.cfg.Policy {
 	case Random:
 		c.rng ^= c.rng << 13
 		c.rng ^= c.rng >> 7
 		c.rng ^= c.rng << 17
-		return int(c.rng % uint64(len(s.lines)))
-	case PLRU:
-		return plruVictim(s)
-	default: // LRU and FIFO both evict the minimum `used` stamp
-		victim, min := 0, s.lines[0].used
-		for i := 1; i < len(s.lines); i++ {
-			if s.lines[i].used < min {
-				victim, min = i, s.lines[i].used
-			}
-		}
-		return victim
+		return int(c.rng % uint64(c.ways))
+	default:
+		return c.plruVictim(set)
 	}
 }
 
 // touchPLRU updates the PLRU tree bits so that `way` becomes protected.
-func (c *Cache) touchPLRU(s *set, way int) {
+func (c *Cache) touchPLRU(set, way int) {
 	if c.cfg.Policy != PLRU {
 		return
 	}
-	n := len(s.lines)
+	bits := c.plru[set]
 	node := 1
-	lo, hi := 0, n
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
-			s.plru |= 1 << uint(node) // point away: right
+			bits |= 1 << uint(node) // point away: right
 			node = node * 2
 			hi = mid
 		} else {
-			s.plru &^= 1 << uint(node) // point away: left
+			bits &^= 1 << uint(node) // point away: left
 			node = node*2 + 1
 			lo = mid
 		}
 	}
+	c.plru[set] = bits
 }
 
 // plruVictim walks the tree bits toward the unprotected leaf.
-func plruVictim(s *set) int {
-	n := len(s.lines)
+func (c *Cache) plruVictim(set int) int {
+	bits := c.plru[set]
 	node := 1
-	lo, hi := 0, n
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if s.plru&(1<<uint(node)) != 0 {
+		if bits&(1<<uint(node)) != 0 {
 			// bit set means "left was recent": victim on the right
 			node = node*2 + 1
 			lo = mid

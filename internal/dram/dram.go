@@ -76,6 +76,12 @@ type Model struct {
 	busy     []float64 // accumulated busy cycles per channel
 	lineMask uint64
 	shift    uint
+	// chanMask is Channels-1 when the channel count is a power of two
+	// (interleave by mask instead of modulo), else -1.
+	chanMask int64
+	// lineXfer caches LineBytes/BytesPerCycle — the transfer time of the
+	// line-sized requests that make up all real traffic.
+	lineXfer float64
 	Stats    Stats
 }
 
@@ -84,11 +90,17 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	chanMask := int64(-1)
+	if units.IsPow2(int64(cfg.Channels)) {
+		chanMask = int64(cfg.Channels - 1)
+	}
 	return &Model{
 		cfg:      cfg,
 		nextFree: make([]float64, cfg.Channels),
 		busy:     make([]float64, cfg.Channels),
 		shift:    units.Log2(cfg.LineBytes),
+		chanMask: chanMask,
+		lineXfer: float64(cfg.LineBytes) / cfg.BytesPerCycle,
 	}, nil
 }
 
@@ -105,6 +117,9 @@ func MustNew(cfg Config) *Model {
 func (m *Model) Config() Config { return m.cfg }
 
 func (m *Model) channel(addr uint64) int {
+	if m.chanMask >= 0 {
+		return int((addr >> m.shift) & uint64(m.chanMask))
+	}
 	return int((addr >> m.shift) % uint64(m.cfg.Channels))
 }
 
@@ -119,7 +134,10 @@ func (m *Model) Request(now float64, addr uint64, bytes int64, write bool) (done
 		m.Stats.QueueCycles += m.nextFree[ch] - start
 		start = m.nextFree[ch]
 	}
-	xfer := float64(bytes) / m.cfg.BytesPerCycle
+	xfer := m.lineXfer
+	if bytes != m.cfg.LineBytes {
+		xfer = float64(bytes) / m.cfg.BytesPerCycle
+	}
 	m.nextFree[ch] = start + xfer
 	m.busy[ch] += xfer
 	if write {

@@ -2,16 +2,21 @@
 // per-core memory hierarchy with shared outer levels.
 //
 // The hierarchy is the timing heart of the simulator. Every kernel load or
-// store resolves here into a cycle count, via three entry points split so the
+// store resolves here into a cycle count, via two entry points split so the
 // discrete-event engine (internal/sim) can keep private-state operations
 // lock-free and serialize only the operations that touch shared state:
 //
-//   - Translate: the private TLB path (uTLB → L2 TLB → page walk).
-//   - L1Hit / TouchL1: a non-mutating L1 probe plus the hit-path update.
-//   - MissPath: everything past a private L1 miss — in-flight prefetch
+//   - AccessL1: the fused private path — TLB lookup (uTLB → L2 TLB → page
+//     walk) plus a single L1 tag walk that detects a hit and applies its
+//     recency/dirty update, or counts the miss and installs the line, in
+//     one pass.
+//   - MissRest: everything past a private L1 miss — in-flight prefetch
 //     matching, shared L2/L3 lookups, DRAM queueing, write-back traffic and
 //     prefetch training/issue. Calls must be globally ordered by time across
 //     cores; the sim engine guarantees that.
+//
+// Access combines both for single-call use; the split legacy entry points
+// (Translate, L1Hit, TouchL1, MissPath) remain for probes and tests.
 //
 // Inclusive caches, write-back + write-allocate everywhere, posted (non-
 // blocking) write-backs, and demand fills that lazily install prefetched
@@ -76,6 +81,11 @@ func (c Config) Validate() error {
 	if c.MissOverlap <= 0 || c.MissOverlap > 1 {
 		return fmt.Errorf("hier: miss overlap %v outside (0,1]", c.MissOverlap)
 	}
+	if c.LineSize < 4 {
+		// The simulator packs valid/dirty flags into the low bits of
+		// line-aligned addresses; real lines are far larger anyway.
+		return fmt.Errorf("hier: line size %d below minimum 4", c.LineSize)
+	}
 	if err := c.L1.Validate(); err != nil {
 		return err
 	}
@@ -113,10 +123,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// fill is one outstanding (MSHR-tracked) line fill.
+// fill is one outstanding (MSHR-tracked) line fill. paddr caches the
+// scattered physical line address (a pure function of line) so retirement
+// does not recompute it.
 type fill struct {
 	line  uint64
+	paddr uint64
 	ready float64
+}
+
+// physMemoEntries sizes the per-core direct-mapped VPN→PPN memo; a power of
+// two. The memo caches the splitmix64 page scatter (see phys), which is a
+// pure function of the VPN — memoization is exact, never invalidated. It is
+// deliberately small: page-grain reuse means a handful of hot pages cover a
+// kernel's inner loops, and a compact table stays resident in the host L1.
+const physMemoEntries = 64
+
+type physEntry struct {
+	key uint64 // vpn + 1; 0 means empty
+	ppn uint64 // scattered physical page address (offset bits zero)
 }
 
 type coreState struct {
@@ -125,21 +150,74 @@ type coreState struct {
 	jtlb   *tlb.TLB // nil when absent
 	walker tlb.Walker
 	pref   prefetch.Prefetcher // nil when absent
-	// inflight holds outstanding prefetch fills in issue order. It is a
-	// small slice (bounded by MaxInflight) rather than a map: the MSHR
-	// file is scanned on every miss, and insertion order keeps retirement
+	// stridePref is pref devirtualized when it is the stock Stride model
+	// (every preset): the per-miss Observe call is then direct.
+	stridePref *prefetch.Stride
+	// inflight is the MSHR file: outstanding prefetch fills in issue order,
+	// held in a small power-of-two ring (bounded by MaxInflight) so the
+	// common head operations — matching the oldest fill, retiring ready
+	// fills — are O(1) with no compaction. Insertion order keeps retirement
 	// deterministic.
 	inflight []fill
+	infHead  int
+	infLen   int
 	buf      []uint64 // scratch for prefetch candidates
+	// physMemo is per-core (not per-hierarchy) so the access hot path stays
+	// free of cross-core sharing; each core's goroutine touches only its own
+	// table.
+	physMemo [physMemoEntries]physEntry
+}
+
+// infAt returns the k-th oldest in-flight fill (0 = head).
+func (st *coreState) infAt(k int) *fill {
+	return &st.inflight[(st.infHead+k)&(len(st.inflight)-1)]
+}
+
+// infPush appends a fill at the tail. The ring is sized to MaxInflight, and
+// callers never exceed it.
+func (st *coreState) infPush(f fill) {
+	*st.infAt(st.infLen) = f
+	st.infLen++
+}
+
+// infRemove deletes the k-th oldest fill, preserving the order of the rest.
+func (st *coreState) infRemove(k int) {
+	if k == 0 {
+		st.infHead = (st.infHead + 1) & (len(st.inflight) - 1)
+		st.infLen--
+		return
+	}
+	for j := k; j < st.infLen-1; j++ {
+		*st.infAt(j) = *st.infAt(j + 1)
+	}
+	st.infLen--
+}
+
+// physFor is the memoized phys: one table probe replaces the three-multiply
+// mixer for every hot page.
+func (st *coreState) physFor(addr uint64) uint64 {
+	vpn := addr >> 12
+	e := &st.physMemo[vpn&(physMemoEntries-1)]
+	if e.key != vpn+1 {
+		e.key, e.ppn = vpn+1, physPage(vpn)
+	}
+	return e.ppn | addr&4095
 }
 
 // Hierarchy is the runtime state for one machine.
 type Hierarchy struct {
-	cfg   Config
-	dramM *dram.Model
-	l2    []*cache.Cache // len 1 when shared, else len Cores
-	l3    []*cache.Cache
-	per   []coreState
+	cfg         Config
+	lineMask    uint64 // LineSize-1; line rounding is addr &^ lineMask
+	maxInflight int    // resolved MSHR count (cfg.MaxInflight, default 8)
+	// monoFills: on a single-channel device with no L2/L3, every fill is a
+	// same-size DRAM request through one FIFO queue, so completion times
+	// are monotonic in issue order — if the oldest in-flight fill is not
+	// ready, none are.
+	monoFills bool
+	dramM     *dram.Model
+	l2        []*cache.Cache // len 1 when shared, else len Cores
+	l3        []*cache.Cache
+	per       []coreState
 
 	// PrefetchFills counts lines actually fetched by prefetchers (after
 	// residency filtering); used by the ablation benchmarks.
@@ -151,7 +229,16 @@ func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, dramM: dram.MustNew(cfg.DRAM)}
+	h := &Hierarchy{cfg: cfg, lineMask: uint64(cfg.LineSize - 1), dramM: dram.MustNew(cfg.DRAM)}
+	h.maxInflight = cfg.MaxInflight
+	if h.maxInflight <= 0 {
+		h.maxInflight = 8
+	}
+	h.monoFills = cfg.DRAM.Channels == 1 && cfg.L2 == nil
+	ringCap := 1
+	for ringCap < h.maxInflight {
+		ringCap <<= 1
+	}
 	mkLevel := func(lv *Level) []*cache.Cache {
 		if lv == nil {
 			return nil
@@ -175,15 +262,17 @@ func New(cfg Config) (*Hierarchy, error) {
 		l1 := cfg.L1
 		l1.Seed += uint64(i)
 		st := coreState{
-			l1:     cache.MustNew(l1),
-			utlb:   tlb.MustNew(cfg.UTLB),
-			walker: tlb.Walker{Levels: cfg.WalkLevels, CyclesPerLevel: cfg.WalkCycles},
+			l1:       cache.MustNew(l1),
+			utlb:     tlb.MustNew(cfg.UTLB),
+			walker:   tlb.Walker{Levels: cfg.WalkLevels, CyclesPerLevel: cfg.WalkCycles},
+			inflight: make([]fill, ringCap),
 		}
 		if cfg.JTLB != nil {
 			st.jtlb = tlb.MustNew(*cfg.JTLB)
 		}
 		if cfg.NewPrefetcher != nil {
 			st.pref = cfg.NewPrefetcher()
+			st.stridePref, _ = st.pref.(*prefetch.Stride)
 		}
 		h.per[i] = st
 	}
@@ -213,7 +302,7 @@ func (h *Hierarchy) L1Stats(core int) cache.Stats { return h.per[core].l1.Stats 
 
 // TLBStats returns (uTLB stats, walk count) of one core.
 func (h *Hierarchy) TLBStats(core int) (tlb.Stats, uint64) {
-	return h.per[core].utlb.Stats, h.per[core].walker.Walks
+	return h.per[core].utlb.Stats(), h.per[core].walker.Walks
 }
 
 func (h *Hierarchy) l2For(core int) *cache.Cache {
@@ -249,22 +338,33 @@ func (h *Hierarchy) SharedOnMiss() bool { return h.cfg.Cores > 1 }
 // handful of sets, a pathology real systems don't exhibit. Offsets within a
 // page are preserved; TLBs and prefetch training stay virtual.
 func (h *Hierarchy) phys(addr uint64) uint64 {
-	vpn := addr >> 12
-	off := addr & 4095
+	return physPage(addr>>12) | addr&4095
+}
+
+// physPage scatters one virtual page number (the splitmix64 finalizer).
+func physPage(vpn uint64) uint64 {
 	z := vpn + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
-	return z<<12 | off
+	return z << 12
 }
 
 // Translate charges the TLB path for a data access and returns its cycle
 // cost. All state touched is private to the core.
 func (h *Hierarchy) Translate(core int, addr uint64) float64 {
-	st := &h.per[core]
+	return h.translate(&h.per[core], addr)
+}
+
+func (h *Hierarchy) translate(st *coreState, addr uint64) float64 {
 	if st.utlb.Lookup(addr) {
 		return 0
 	}
+	return h.translateMiss(st, addr)
+}
+
+// translateMiss is the uTLB-miss path: second-level TLB, then a page walk.
+func (h *Hierarchy) translateMiss(st *coreState, addr uint64) float64 {
 	if st.jtlb != nil && st.jtlb.Lookup(addr) {
 		st.utlb.Insert(addr)
 		return h.cfg.JTLBPenalty
@@ -280,54 +380,125 @@ func (h *Hierarchy) Translate(core int, addr uint64) float64 {
 // L1Hit reports whether addr is resident in the core's L1 without mutating
 // replacement state.
 func (h *Hierarchy) L1Hit(core int, addr uint64) bool {
-	return h.per[core].l1.Probe(h.phys(addr))
+	st := &h.per[core]
+	return st.l1.Probe(st.physFor(addr))
 }
 
 // TouchL1 performs the L1 hit-path update (recency, dirty bit) for an access
 // already known to hit, returning its cycle cost.
 func (h *Hierarchy) TouchL1(core int, addr uint64, write bool) float64 {
-	h.per[core].l1.Access(h.phys(addr), write)
+	st := &h.per[core]
+	st.l1.Access(st.physFor(addr), write)
 	return h.cfg.L1HitCycles
 }
 
-// MissPath resolves an L1 miss at simulated time now and returns the access
-// completion time (before miss-overlap scaling, which the caller applies so
-// that it can also model vectorized access streams). Multi-core callers must
-// invoke MissPath in non-decreasing global time order.
-func (h *Hierarchy) MissPath(core int, now float64, addr uint64, write bool) float64 {
+// AccessL1 performs the private, per-core portion of one data access in a
+// single pass: the TLB path plus one fused L1 tag walk that either applies
+// the hit-path update or counts the demand miss and installs the line
+// (reporting the victim in res). It replaces the Translate + L1Hit + TouchL1
+// triple walk of the split API with exactly one TLB lookup and one cache
+// lookup; timing, statistics and replacement state are identical. On a miss
+// the caller must complete the access with MissRest.
+func (h *Hierarchy) AccessL1(core int, addr uint64, write bool) (tlbCycles float64, res cache.Result) {
 	st := &h.per[core]
-	line := addr / uint64(h.cfg.LineSize) * uint64(h.cfg.LineSize)
+	tlbCycles = h.translate(st, addr)
+	res = st.l1.Access(st.physFor(addr), write)
+	return tlbCycles, res
+}
 
-	// Count the demand miss in L1 stats and make room for the incoming
-	// line; the victim's write-back is posted down the hierarchy.
-	res := st.l1.Access(h.phys(addr), write)
+// MissRest completes an L1 miss whose fused lookup (AccessL1) already
+// counted the miss and installed the line: it posts the victim's write-back,
+// trains the prefetcher, matches in-flight fills and walks the shared
+// levels, returning the completion time (before miss-overlap scaling, which
+// the caller applies so that it can also model vectorized access streams).
+// This is the only part of an access that touches globally shared state;
+// multi-core callers must invoke it in non-decreasing global time order.
+func (h *Hierarchy) MissRest(core int, now float64, addr uint64, res cache.Result) float64 {
+	return h.missRest(&h.per[core], core, now, addr, res)
+}
+
+func (h *Hierarchy) missRest(st *coreState, core int, now float64, addr uint64, res cache.Result) float64 {
+	line := addr &^ h.lineMask
+
+	// The victim's write-back is posted down the hierarchy.
 	if res.EvictedValid && res.EvictedDirty {
 		h.postWriteback(core, now, res.Evicted)
 	}
 
 	// Train the prefetcher on the demand-miss stream and issue fills.
+	// issuePrefetch's common early exits (candidate already in flight /
+	// already resident) are open-coded here: the miss path is the
+	// simulator's hottest loop and the call frames are measurable.
 	if st.pref != nil {
-		st.buf = st.pref.Observe(line, st.buf[:0])
+		if st.stridePref != nil {
+			st.buf = st.stridePref.Observe(line, st.buf[:0])
+		} else {
+			st.buf = st.pref.Observe(line, st.buf[:0])
+		}
+	cands:
 		for _, cand := range st.buf {
-			h.issuePrefetch(core, now, cand)
+			pline := cand &^ h.lineMask
+			for k := st.infLen - 1; k >= 0; k-- {
+				if st.infAt(k).line == pline {
+					continue cands
+				}
+			}
+			paddr := st.physFor(pline)
+			if st.l1.Probe(paddr) {
+				continue
+			}
+			h.startFill(st, core, now, pline, paddr)
 		}
 	}
 
 	// A fill already in flight (from a prefetch) satisfies the miss at its
-	// ready time.
-	for i := range st.inflight {
-		if st.inflight[i].line != line {
+	// ready time. Streams demand lines in the order they were prefetched,
+	// so the match is usually the head of the MSHR ring.
+	for k := 0; k < st.infLen; k++ {
+		f := st.infAt(k)
+		if f.line != line {
 			continue
 		}
-		done := st.inflight[i].ready
-		st.inflight = append(st.inflight[:i], st.inflight[i+1:]...)
+		done := f.ready
+		st.infRemove(k)
 		if now > done {
 			done = now
 		}
 		return done + h.cfg.L1HitCycles
 	}
 
-	return h.fill(core, now, h.phys(line)) + h.cfg.L1HitCycles
+	return h.fill(core, now, st.physFor(line)) + h.cfg.L1HitCycles
+}
+
+// MissPath resolves an L1 miss at simulated time now and returns the access
+// completion time: the L1 demand access (miss count, line install, victim
+// selection) followed by MissRest. Multi-core callers must invoke MissPath
+// in non-decreasing global time order.
+func (h *Hierarchy) MissPath(core int, now float64, addr uint64, write bool) float64 {
+	st := &h.per[core]
+	res := st.l1.Access(st.physFor(addr), write)
+	return h.missRest(st, core, now, addr, res)
+}
+
+// Access resolves one data access end-to-end at simulated time now and
+// returns the core's new simulated time: translation, the fused L1 lookup
+// (plus issue, the caller's per-element L1-hit cost) on a hit, or the full
+// shared path scaled by the device's miss-overlap factor on a miss. It is
+// the single-call entry point for callers that do not need to interleave a
+// cross-core event ordering between the private and shared portions
+// (single-core regions — most of the paper's kernels); the sim engine uses
+// AccessL1 + MissRest directly so it can serialize only the shared half.
+func (h *Hierarchy) Access(core int, now float64, addr uint64, write bool, issue float64) float64 {
+	st := &h.per[core]
+	if !st.utlb.Lookup(addr) { // uTLB hits cost nothing; misses take the slow path
+		now += h.translateMiss(st, addr)
+	}
+	res := st.l1.Access(st.physFor(addr), write)
+	if res.Hit {
+		return now + issue
+	}
+	done := h.missRest(st, core, now, addr, res)
+	return now + (done-now)*h.cfg.MissOverlap
 }
 
 // fill walks L2 → L3 → DRAM for the given *physical* line, installing it at
@@ -356,46 +527,54 @@ func (h *Hierarchy) fill(core int, now float64, line uint64) float64 {
 	return h.dramM.Request(now, line, h.cfg.LineSize, false)
 }
 
-// issuePrefetch starts a fill for cand unless it is already resident in the
-// core's L1 or in flight. Prefetch fills consume real channel time — on a
-// bandwidth-starved device they can crowd out demand traffic, which is
-// exactly the VisionFive behaviour in the paper's Fig. 6 discussion.
-func (h *Hierarchy) issuePrefetch(core int, now float64, cand uint64) {
-	st := &h.per[core]
-	line := cand / uint64(h.cfg.LineSize) * uint64(h.cfg.LineSize)
-	for i := range st.inflight {
-		if st.inflight[i].line == line {
-			return
-		}
-	}
-	if st.l1.Probe(h.phys(line)) {
-		return
-	}
-	maxIn := h.cfg.MaxInflight
-	if maxIn <= 0 {
-		maxIn = 8
-	}
-	if len(st.inflight) >= maxIn {
+// startFill claims an MSHR for a prefetch (retiring landed fills if the
+// file is full — or dropping the prefetch when none free up) and starts the
+// fill. Prefetch fills consume real channel time — on a bandwidth-starved
+// device they can crowd out demand traffic, which is exactly the VisionFive
+// behaviour in the paper's Fig. 6 discussion.
+func (h *Hierarchy) startFill(st *coreState, core int, now float64, line, paddr uint64) {
+	if st.infLen >= h.maxInflight {
 		// Retire fills that have landed — they install into L1 (in issue
 		// order, which is deterministic) and free their MSHR. If all slots
-		// are still busy, the prefetch is dropped.
-		kept := st.inflight[:0]
-		for _, f := range st.inflight {
-			if f.ready <= now {
-				if r := st.l1.Install(h.phys(f.line), false); r.EvictedValid && r.EvictedDirty {
-					h.postWriteback(core, now, r.Evicted)
-				}
-				continue
-			}
-			kept = append(kept, f)
+		// are still busy, the prefetch is dropped. Fills complete in issue
+		// order on a single-channel device, so ready fills are usually a
+		// prefix of the ring: pop the head cheaply, then sweep the rest.
+		for st.infLen > 0 && st.infAt(0).ready <= now {
+			h.installRetired(st, core, now, st.infAt(0).paddr)
+			st.infHead = (st.infHead + 1) & (len(st.inflight) - 1)
+			st.infLen--
 		}
-		st.inflight = kept
-		if len(st.inflight) >= maxIn {
+		if !h.monoFills {
+			// Multi-channel (or cached) fills can complete out of issue
+			// order: sweep past the unready head too.
+			w := 0
+			for k := 0; k < st.infLen; k++ {
+				f := *st.infAt(k)
+				if f.ready <= now {
+					h.installRetired(st, core, now, f.paddr)
+					continue
+				}
+				if w != k {
+					*st.infAt(w) = f
+				}
+				w++
+			}
+			st.infLen = w
+		}
+		if st.infLen >= h.maxInflight {
 			return
 		}
 	}
-	st.inflight = append(st.inflight, fill{line: line, ready: h.fill(core, now, h.phys(line))})
+	st.infPush(fill{line: line, paddr: paddr, ready: h.fill(core, now, paddr)})
 	h.PrefetchFills++
+}
+
+// installRetired lands a completed prefetch fill in L1, posting any dirty
+// victim's write-back.
+func (h *Hierarchy) installRetired(st *coreState, core int, now float64, paddr uint64) {
+	if r := st.l1.Install(paddr, false); r.EvictedValid && r.EvictedDirty {
+		h.postWriteback(core, now, r.Evicted)
+	}
 }
 
 // postWriteback sends a dirty L1 victim down to the next level without
@@ -434,7 +613,7 @@ func (h *Hierarchy) Reset() {
 		if st.pref != nil {
 			st.pref.Reset()
 		}
-		st.inflight = st.inflight[:0]
+		st.infHead, st.infLen = 0, 0
 	}
 	h.PrefetchFills = 0
 }

@@ -179,22 +179,39 @@ func Run(spec machine.Spec, cfg Config) (Result, error) {
 	return out, nil
 }
 
+// elementwise switches the kernels to the scalar element-by-element path;
+// the oracle test flips it to assert the range-API path is bit-identical.
+var elementwise = false
+
 // naive is Listing 4: for each output pixel and channel, walk the 2D kernel.
-// With interleaved channels the inner reads stride by C elements.
+// With interleaved channels the inner reads stride by C elements. The
+// kernel-row walk (f strided reads plus their flop/intop charges) goes
+// through TouchSpans; the convolution arithmetic runs as plain Go.
 func naive(c *sim.Core, src, dst *sim.F32, k2 []float32, w, h, ch, f int) {
 	mid := f / 2
 	wc := w * ch
+	span := [1]sim.Span{{Stride: int64(ch) * 4, Bytes: 4}}
+	post := [2]float64{c.Flop32Cycles(2), c.IntCycles(2)}
 	for i := 0; i <= h-f; i++ {
 		for j := 0; j <= w-f; j++ {
 			for cc := 0; cc < ch; cc++ {
 				var sum float32
 				for iF := 0; iF < f; iF++ {
 					posI := (i + iF) * wc
+					if elementwise {
+						for jF := 0; jF < f; jF++ {
+							posJ := (j+jF)*ch + cc
+							sum += src.Load(c, posI+posJ) * k2[iF*f+jF]
+							c.Flops32(2)
+							c.IntOps(2)
+						}
+						continue
+					}
+					base := posI + j*ch + cc
+					span[0].Addr = src.Addr(base)
+					c.TouchSpans(f, span[:], post[:])
 					for jF := 0; jF < f; jF++ {
-						posJ := (j+jF)*ch + cc
-						sum += src.Load(c, posI+posJ) * k2[iF*f+jF]
-						c.Flops32(2)
-						c.IntOps(2)
+						sum += src.Data[base+jF*ch] * k2[iF*f+jF]
 					}
 				}
 				dst.Store(c, (i+mid)*wc+(j+mid)*ch+cc, sum)
@@ -204,11 +221,13 @@ func naive(c *sim.Core, src, dst *sim.F32, k2 []float32, w, h, ch, f int) {
 }
 
 // unitStride moves the channel loop inside the kernel walk (Fig. 4, right):
-// the innermost reads sweep consecutive floats.
+// the innermost reads sweep consecutive floats — a natural TouchSpans burst.
 func unitStride(c *sim.Core, src, dst *sim.F32, k2 []float32, w, h, ch, f int) {
 	mid := f / 2
 	wc := w * ch
 	sums := make([]float32, ch)
+	span := [1]sim.Span{{Stride: 4, Bytes: 4}}
+	post := [2]float64{c.Flop32Cycles(2), c.IntCycles(1)}
 	for i := 0; i <= h-f; i++ {
 		for j := 0; j <= w-f; j++ {
 			clear(sums)
@@ -217,10 +236,18 @@ func unitStride(c *sim.Core, src, dst *sim.F32, k2 []float32, w, h, ch, f int) {
 				for jF := 0; jF < f; jF++ {
 					base := posI + (j+jF)*ch
 					kv := k2[iF*f+jF]
+					if elementwise {
+						for cc := 0; cc < ch; cc++ {
+							sums[cc] += src.Load(c, base+cc) * kv
+							c.Flops32(2)
+							c.IntOps(1)
+						}
+						continue
+					}
+					span[0].Addr = src.Addr(base)
+					c.TouchSpans(ch, span[:], post[:])
 					for cc := 0; cc < ch; cc++ {
-						sums[cc] += src.Load(c, base+cc) * kv
-						c.Flops32(2)
-						c.IntOps(1)
+						sums[cc] += src.Data[base+cc] * kv
 					}
 				}
 			}
@@ -238,14 +265,26 @@ func unitStride(c *sim.Core, src, dst *sim.F32, k2 []float32, w, h, ch, f int) {
 func oneD(c *sim.Core, src, tmp, dst *sim.F32, k1 []float32, w, h, ch, f int) {
 	mid := f / 2
 	wc := w * ch
-	// Vertical: tmp[i+mid][j] = Σ src[i+iF][j]·k1[iF], every column.
+	span := [1]sim.Span{}
+	post := [2]float64{c.Flop32Cycles(2), c.IntCycles(2)}
+	// Vertical: tmp[i+mid][j] = Σ src[i+iF][j]·k1[iF], every column. The
+	// kernel walk strides a full row between taps.
 	for i := 0; i <= h-f; i++ {
 		for j := 0; j < wc; j++ {
 			var sum float32
-			for iF := 0; iF < f; iF++ {
-				sum += src.Load(c, (i+iF)*wc+j) * k1[iF]
-				c.Flops32(2)
-				c.IntOps(2)
+			if elementwise {
+				for iF := 0; iF < f; iF++ {
+					sum += src.Load(c, (i+iF)*wc+j) * k1[iF]
+					c.Flops32(2)
+					c.IntOps(2)
+				}
+			} else {
+				base := i*wc + j
+				span[0] = sim.Span{Addr: src.Addr(base), Stride: int64(wc) * 4, Bytes: 4}
+				c.TouchSpans(f, span[:], post[:])
+				for iF := 0; iF < f; iF++ {
+					sum += src.Data[base+iF*wc] * k1[iF]
+				}
 			}
 			tmp.Store(c, (i+mid)*wc+j, sum)
 		}
@@ -255,10 +294,19 @@ func oneD(c *sim.Core, src, tmp, dst *sim.F32, k1 []float32, w, h, ch, f int) {
 		for j := 0; j <= w-f; j++ {
 			for cc := 0; cc < ch; cc++ {
 				var sum float32
-				for jF := 0; jF < f; jF++ {
-					sum += tmp.Load(c, i*wc+(j+jF)*ch+cc) * k1[jF]
-					c.Flops32(2)
-					c.IntOps(2)
+				if elementwise {
+					for jF := 0; jF < f; jF++ {
+						sum += tmp.Load(c, i*wc+(j+jF)*ch+cc) * k1[jF]
+						c.Flops32(2)
+						c.IntOps(2)
+					}
+				} else {
+					base := i*wc + j*ch + cc
+					span[0] = sim.Span{Addr: tmp.Addr(base), Stride: int64(ch) * 4, Bytes: 4}
+					c.TouchSpans(f, span[:], post[:])
+					for jF := 0; jF < f; jF++ {
+						sum += tmp.Data[base+jF*ch] * k1[jF]
+					}
 				}
 				dst.Store(c, i*wc+(j+mid)*ch+cc, sum)
 			}
@@ -274,21 +322,42 @@ func memoryOrdered(m *sim.Machine, src, tmp, dst *sim.F32, k1 []float32, w, h, c
 	mid := f / 2
 	wc := w * ch
 	rowsV := h - f + 1
-	// Vertical accumulation pass.
+	// Vertical accumulation pass. Each tap streams whole rows: the three
+	// interleaved streams (read-accumulate tmp, read src, write tmp) are
+	// one TouchSpans batch per row.
 	r1 := m.ParallelFor(cores, rowsV, sim.Static, 0, func(c *sim.Core, i int) {
 		c.Vec = true
 		out := (i + mid) * wc
 		for iF := 0; iF < f; iF++ {
 			posI := (i + iF) * wc
 			kv := k1[iF]
-			for j := 0; j < wc; j++ {
-				acc := tmp.Load(c, out+j)
-				if iF == 0 {
-					acc = 0
+			if elementwise {
+				for j := 0; j < wc; j++ {
+					acc := tmp.Load(c, out+j)
+					if iF == 0 {
+						acc = 0
+					}
+					tmp.Store(c, out+j, acc+src.Load(c, posI+j)*kv)
+					c.Flops32(2)
+					c.IntOps(1)
 				}
-				tmp.Store(c, out+j, acc+src.Load(c, posI+j)*kv)
-				c.Flops32(2)
-				c.IntOps(1)
+				continue
+			}
+			spans := [3]sim.Span{
+				{Addr: tmp.Addr(out), Stride: 4, Bytes: 4},
+				{Addr: src.Addr(posI), Stride: 4, Bytes: 4},
+				{Addr: tmp.Addr(out), Stride: 4, Bytes: 4, Write: true},
+			}
+			post := [2]float64{c.Flop32Cycles(2), c.IntCycles(1)}
+			c.TouchSpans(wc, spans[:], post[:])
+			if iF == 0 {
+				for j := 0; j < wc; j++ {
+					tmp.Data[out+j] = src.Data[posI+j] * kv
+				}
+			} else {
+				for j := 0; j < wc; j++ {
+					tmp.Data[out+j] += src.Data[posI+j] * kv
+				}
 			}
 		}
 	})
@@ -301,14 +370,33 @@ func memoryOrdered(m *sim.Machine, src, tmp, dst *sim.F32, k1 []float32, w, h, c
 		for jF := 0; jF < f; jF++ {
 			kv := k1[jF]
 			off := jF * ch
-			for j := 0; j < span; j++ {
-				acc := dst.Load(c, row+mid*ch+j)
-				if jF == 0 {
-					acc = 0
+			if elementwise {
+				for j := 0; j < span; j++ {
+					acc := dst.Load(c, row+mid*ch+j)
+					if jF == 0 {
+						acc = 0
+					}
+					dst.Store(c, row+mid*ch+j, acc+tmp.Load(c, row+off+j)*kv)
+					c.Flops32(2)
+					c.IntOps(1)
 				}
-				dst.Store(c, row+mid*ch+j, acc+tmp.Load(c, row+off+j)*kv)
-				c.Flops32(2)
-				c.IntOps(1)
+				continue
+			}
+			spans := [3]sim.Span{
+				{Addr: dst.Addr(row + mid*ch), Stride: 4, Bytes: 4},
+				{Addr: tmp.Addr(row + off), Stride: 4, Bytes: 4},
+				{Addr: dst.Addr(row + mid*ch), Stride: 4, Bytes: 4, Write: true},
+			}
+			post := [2]float64{c.Flop32Cycles(2), c.IntCycles(1)}
+			c.TouchSpans(span, spans[:], post[:])
+			if jF == 0 {
+				for j := 0; j < span; j++ {
+					dst.Data[row+mid*ch+j] = tmp.Data[row+off+j] * kv
+				}
+			} else {
+				for j := 0; j < span; j++ {
+					dst.Data[row+mid*ch+j] += tmp.Data[row+off+j] * kv
+				}
 			}
 		}
 	})

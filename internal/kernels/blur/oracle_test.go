@@ -1,0 +1,32 @@
+package blur
+
+import (
+	"testing"
+
+	"riscvmem/internal/machine"
+)
+
+// TestRangeOracle asserts the TouchSpans-based blur kernels are
+// bit-identical — simulated cycles and every memory-system statistic — to
+// the scalar element-by-element loops, for all five variants.
+func TestRangeOracle(t *testing.T) {
+	for _, spec := range []machine.Spec{machine.VisionFive(), machine.RaspberryPi4()} {
+		for _, v := range Variants() {
+			cfg := Config{W: 40, H: 32, C: 3, F: 9, Variant: v, Verify: true}
+			rng, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elementwise = true
+			ref, err := Run(spec, cfg)
+			elementwise = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Cycles != ref.Cycles || rng.Mem != ref.Mem {
+				t.Errorf("%s/%v: range path diverges: cycles %v vs %v, mem %+v vs %+v",
+					spec.Name, v, rng.Cycles, ref.Cycles, rng.Mem, ref.Mem)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"testing"
+
+	"riscvmem/internal/machine"
+)
+
+// TestRangeOracle asserts the TouchSpans-based STREAM path is bit-identical
+// — bandwidths per repetition and every memory-system statistic — to the
+// scalar element-by-element loop, for all four tests on all four device
+// presets (multi-threaded where the device is).
+func TestRangeOracle(t *testing.T) {
+	for _, spec := range machine.All() {
+		for _, tst := range Tests() {
+			cfg := Config{Test: tst, Elems: 3000, Cores: spec.Cores, Reps: 2}
+			zip, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elementwise = true
+			ref, err := Run(spec, cfg)
+			elementwise = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zip.Best != ref.Best || zip.Mem != ref.Mem {
+				t.Errorf("%s/%v: range path diverges: best %v vs %v, mem %+v vs %+v",
+					spec.Name, tst, zip.Best, ref.Best, zip.Mem, ref.Mem)
+			}
+			for i := range ref.PerRep {
+				if zip.PerRep[i] != ref.PerRep[i] {
+					t.Errorf("%s/%v rep %d: %v != %v", spec.Name, tst, i, zip.PerRep[i], ref.PerRep[i])
+				}
+			}
+		}
+	}
+}

@@ -101,6 +101,29 @@ type Measurement struct {
 	Mem sim.Summary
 }
 
+// elementwise switches Run to the scalar element-by-element path; the
+// oracle test flips it to assert the range-API path is bit-identical.
+var elementwise = false
+
+// elementwiseBody is one scalar STREAM iteration — the reference semantics
+// the TouchSpans-based path must reproduce exactly.
+func elementwiseBody(c *sim.Core, t Test, a, b, cArr *sim.F64, d float64, i int) {
+	switch t {
+	case Copy:
+		a.Store(c, i, b.Load(c, i))
+	case Scale:
+		a.Store(c, i, d*b.Load(c, i))
+		c.Flops(1)
+	case Sum:
+		a.Store(c, i, b.Load(c, i)+cArr.Load(c, i))
+		c.Flops(1)
+	case Triad:
+		a.Store(c, i, b.Load(c, i)+d*cArr.Load(c, i))
+		c.Flops(2)
+	}
+	c.IntOps(1)
+}
+
 // Run executes one STREAM measurement on a fresh machine.
 func Run(spec machine.Spec, cfg Config) (Measurement, error) {
 	if cfg.Elems <= 0 {
@@ -138,31 +161,68 @@ func Run(spec machine.Spec, cfg Config) (Measurement, error) {
 	}
 	const d = 3.0
 
-	body := func(c *sim.Core, i int) {
+	// Timing runs through the bulk range API: per chunk, TouchSpans charges
+	// the interleaved element accesses (load b[i], [load c[i],] store a[i],
+	// flops, intops — the exact order of the scalar loop) line-granularly,
+	// and the arithmetic itself runs as a plain Go loop. elementwiseBody is
+	// the scalar oracle the range path is tested against.
+	body := func(c *sim.Core, lo, hi int) {
 		// STREAM loops auto-vectorize on toolchains that support it; the
 		// flag is a no-op on the scalar RISC-V presets.
 		c.Vec = true
+		cnt := hi - lo
+		if cnt <= 0 {
+			return
+		}
+		spans := make([]sim.Span, 0, 3)
+		switch cfg.Test {
+		case Sum, Triad:
+			spans = append(spans,
+				sim.Span{Addr: b.Addr(lo), Stride: 8, Bytes: 8},
+				sim.Span{Addr: cArr.Addr(lo), Stride: 8, Bytes: 8},
+				sim.Span{Addr: a.Addr(lo), Stride: 8, Bytes: 8, Write: true})
+		default:
+			spans = append(spans,
+				sim.Span{Addr: b.Addr(lo), Stride: 8, Bytes: 8},
+				sim.Span{Addr: a.Addr(lo), Stride: 8, Bytes: 8, Write: true})
+		}
+		post := make([]float64, 0, 2)
+		if f := cfg.Test.FlopsPerIter(); f > 0 {
+			post = append(post, c.FlopCycles(float64(f)))
+		}
+		post = append(post, c.IntCycles(1))
+		c.TouchSpans(cnt, spans, post)
 		switch cfg.Test {
 		case Copy:
-			a.Store(c, i, b.Load(c, i))
+			copy(a.Data[lo:hi], b.Data[lo:hi])
 		case Scale:
-			a.Store(c, i, d*b.Load(c, i))
-			c.Flops(1)
+			for i := lo; i < hi; i++ {
+				a.Data[i] = d * b.Data[i]
+			}
 		case Sum:
-			a.Store(c, i, b.Load(c, i)+cArr.Load(c, i))
-			c.Flops(1)
+			for i := lo; i < hi; i++ {
+				a.Data[i] = b.Data[i] + cArr.Data[i]
+			}
 		case Triad:
-			a.Store(c, i, b.Load(c, i)+d*cArr.Load(c, i))
-			c.Flops(2)
+			for i := lo; i < hi; i++ {
+				a.Data[i] = b.Data[i] + d*cArr.Data[i]
+			}
 		}
-		c.IntOps(1)
+	}
+	if elementwise {
+		body = func(c *sim.Core, lo, hi int) {
+			c.Vec = true
+			for i := lo; i < hi; i++ {
+				elementwiseBody(c, cfg.Test, a, b, cArr, d, i)
+			}
+		}
 	}
 
 	meas := Measurement{Config: cfg, Device: spec.Name}
 	bytes := cfg.Test.BytesPerIter() * int64(n)
-	m.ParallelFor(cfg.Cores, n, sim.Static, 0, body) // warm-up pass (untimed)
+	m.ParallelRange(cfg.Cores, n, sim.Static, 0, body) // warm-up pass (untimed)
 	for r := 0; r < cfg.Reps; r++ {
-		res := m.ParallelFor(cfg.Cores, n, sim.Static, 0, body)
+		res := m.ParallelRange(cfg.Cores, n, sim.Static, 0, body)
 		bw := units.Bandwidth(bytes, res.Cycles, spec.FreqGHz)
 		meas.PerRep = append(meas.PerRep, bw)
 		if scaled := units.BytesPerSec(float64(bw) * float64(cfg.ScaleBy)); scaled > meas.Best {

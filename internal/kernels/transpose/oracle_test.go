@@ -1,0 +1,33 @@
+package transpose
+
+import (
+	"testing"
+
+	"riscvmem/internal/machine"
+)
+
+// TestRangeOracle asserts the TouchSpans-based transposition kernels are
+// bit-identical — simulated cycles and every memory-system statistic — to
+// the scalar element-by-element loops, across the variants that exercise
+// every rewritten loop (in-place swaps, staged tiles, dynamic schedule).
+func TestRangeOracle(t *testing.T) {
+	for _, spec := range []machine.Spec{machine.MangoPiD1(), machine.XeonServer()} {
+		for _, v := range []Variant{Naive, Parallel, Blocking, ManualBlocking, Dynamic} {
+			cfg := Config{N: 128, Variant: v, Verify: true}
+			rng, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elementwise = true
+			ref, err := Run(spec, cfg)
+			elementwise = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rng.Cycles != ref.Cycles || rng.Mem != ref.Mem {
+				t.Errorf("%s/%v: range path diverges: cycles %v vs %v, mem %+v vs %+v",
+					spec.Name, v, rng.Cycles, ref.Cycles, rng.Mem, ref.Mem)
+			}
+		}
+	}
+}

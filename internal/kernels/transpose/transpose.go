@@ -129,16 +129,12 @@ func Run(spec machine.Spec, cfg Config) (Result, error) {
 	case Naive:
 		res = m.RunSeq(func(c *sim.Core) {
 			for i := 0; i < n; i++ {
-				for j := i + 1; j < n; j++ {
-					swap(c, mat, i*n+j, j*n+i)
-				}
+				swapRange(c, mat, i*n+i+1, (i+1)*n+i, 1, n, n-i-1)
 			}
 		})
 	case Parallel:
 		res = m.ParallelFor(cores, n, sim.Static, 0, func(c *sim.Core, i int) {
-			for j := i + 1; j < n; j++ {
-				swap(c, mat, i*n+j, j*n+i)
-			}
+			swapRange(c, mat, i*n+i+1, (i+1)*n+i, 1, n, n-i-1)
 		})
 	case Blocking:
 		res = m.ParallelFor(cores, n/cfg.Block, sim.Static, 0, func(c *sim.Core, bi int) {
@@ -170,13 +166,47 @@ func Run(spec machine.Spec, cfg Config) (Result, error) {
 	return out, nil
 }
 
-// swap exchanges two elements through the simulated memory system.
+// elementwise switches the kernels to the scalar element-by-element path;
+// the oracle test flips it to assert the range-API path is bit-identical.
+var elementwise = false
+
+// swap exchanges two elements through the simulated memory system — the
+// reference semantics of one swapRange iteration.
 func swap(c *sim.Core, mat *sim.F64, p, q int) {
 	vp := mat.Load(c, p)
 	vq := mat.Load(c, q)
 	mat.Store(c, p, vq)
 	mat.Store(c, q, vp)
 	c.IntOps(3) // index arithmetic + loop branch
+}
+
+// swapRange exchanges count element pairs (p0+k·pStride, q0+k·qStride)
+// exactly like the scalar swap loop: the four interleaved accesses per pair
+// are charged through TouchSpans (line-granular lookups) and the data moves
+// in a plain Go loop.
+func swapRange(c *sim.Core, mat *sim.F64, p0, q0, pStride, qStride, count int) {
+	if count <= 0 {
+		return
+	}
+	if elementwise {
+		for k := 0; k < count; k++ {
+			swap(c, mat, p0+k*pStride, q0+k*qStride)
+		}
+		return
+	}
+	ps, qs := int64(pStride)*8, int64(qStride)*8
+	spans := [4]sim.Span{
+		{Addr: mat.Addr(p0), Stride: ps, Bytes: 8},
+		{Addr: mat.Addr(q0), Stride: qs, Bytes: 8},
+		{Addr: mat.Addr(p0), Stride: ps, Bytes: 8, Write: true},
+		{Addr: mat.Addr(q0), Stride: qs, Bytes: 8, Write: true},
+	}
+	post := [1]float64{c.IntCycles(3)}
+	c.TouchSpans(count, spans[:], post[:])
+	for k := 0; k < count; k++ {
+		p, q := p0+k*pStride, q0+k*qStride
+		mat.Data[p], mat.Data[q] = mat.Data[q], mat.Data[p]
+	}
 }
 
 // transposeBlockRow handles block row bi of the Blocking variant (Listing
@@ -186,16 +216,12 @@ func transposeBlockRow(c *sim.Core, mat *sim.F64, n, blk, bi int) {
 	for jBlk := iBlk; jBlk < n; jBlk += blk {
 		if iBlk == jBlk {
 			for i := iBlk; i < iBlk+blk; i++ {
-				for j := i + 1; j < jBlk+blk; j++ {
-					swap(c, mat, i*n+j, j*n+i)
-				}
+				swapRange(c, mat, i*n+i+1, (i+1)*n+i, 1, n, jBlk+blk-i-1)
 			}
 			continue
 		}
 		for i := iBlk; i < iBlk+blk; i++ {
-			for j := jBlk; j < jBlk+blk; j++ {
-				swap(c, mat, i*n+j, j*n+i)
-			}
+			swapRange(c, mat, i*n+jBlk, jBlk*n+i, 1, n, blk)
 		}
 	}
 }
@@ -233,13 +259,27 @@ func runManual(m *sim.Machine, mat *sim.F64, n, blk, cores int, sched sim.Schedu
 	})
 }
 
+// copyRow moves count elements from src[s0:] to dst[d0:] with the load and
+// store interleaved per element, exactly like the scalar staging loop.
+func copyRow(c *sim.Core, dst, src *sim.F64, d0, s0, count int) {
+	if elementwise {
+		for j := 0; j < count; j++ {
+			dst.Store(c, d0+j, src.Load(c, s0+j))
+		}
+		return
+	}
+	spans := [2]sim.Span{
+		{Addr: src.Addr(s0), Stride: 8, Bytes: 8},
+		{Addr: dst.Addr(d0), Stride: 8, Bytes: 8, Write: true},
+	}
+	c.TouchSpans(count, spans[:], nil)
+	copy(dst.Data[d0:d0+count], src.Data[s0:s0+count])
+}
+
 // loadBlock copies tile (iBlk,jBlk) into buf row-sequentially.
 func loadBlock(c *sim.Core, mat, buf *sim.F64, n, blk, iBlk, jBlk int) {
 	for i := 0; i < blk; i++ {
-		row := (iBlk + i) * n
-		for j := 0; j < blk; j++ {
-			buf.Store(c, i*blk+j, mat.Load(c, row+jBlk+j))
-		}
+		copyRow(c, buf, mat, i*blk, (iBlk+i)*n+jBlk, blk)
 		c.IntOps(float64(blk))
 	}
 }
@@ -247,10 +287,7 @@ func loadBlock(c *sim.Core, mat, buf *sim.F64, n, blk, iBlk, jBlk int) {
 // storeBlock writes buf back over tile (iBlk,jBlk) row-sequentially.
 func storeBlock(c *sim.Core, mat, buf *sim.F64, n, blk, iBlk, jBlk int) {
 	for i := 0; i < blk; i++ {
-		row := (iBlk + i) * n
-		for j := 0; j < blk; j++ {
-			mat.Store(c, row+jBlk+j, buf.Load(c, i*blk+j))
-		}
+		copyRow(c, mat, buf, (iBlk+i)*n+jBlk, i*blk, blk)
 		c.IntOps(float64(blk))
 	}
 }
@@ -258,8 +295,6 @@ func storeBlock(c *sim.Core, mat, buf *sim.F64, n, blk, iBlk, jBlk int) {
 // transposeInCache transposes the L1-resident tile in place.
 func transposeInCache(c *sim.Core, buf *sim.F64, blk int) {
 	for i := 0; i < blk; i++ {
-		for j := i + 1; j < blk; j++ {
-			swap(c, buf, i*blk+j, j*blk+i)
-		}
+		swapRange(c, buf, i*blk+i+1, (i+1)*blk+i, 1, blk, blk-i-1)
 	}
 }

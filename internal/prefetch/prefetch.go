@@ -14,6 +14,12 @@
 // resident or in flight and charges channel time for real fills.
 package prefetch
 
+import (
+	"math/bits"
+
+	"riscvmem/internal/units"
+)
+
 // Prefetcher observes the demand-access stream of one core and proposes
 // lines to fetch ahead of it.
 type Prefetcher interface {
@@ -129,9 +135,16 @@ type stream struct {
 // backward strides, bounded or unbounded stride magnitude, and optional
 // distance ramping.
 type Stride struct {
-	cfg   StrideConfig
-	table []stream
-	clock uint64
+	cfg StrideConfig
+	// lineShift is log2(LineSize) when it is a power of two (the common
+	// case: divide/multiply by shifting), else 0 with pow2Line false.
+	lineShift uint
+	pow2Line  bool
+	table     []stream
+	// validMask mirrors the streams' valid bits so the match scan skips
+	// empty slots without touching their memory (tables are ≤64 streams).
+	validMask uint64
+	clock     uint64
 	// Issued counts candidate lines proposed since construction/Reset.
 	Issued uint64
 }
@@ -139,27 +152,52 @@ type Stride struct {
 // NewStride returns a stride prefetcher with the given configuration.
 func NewStride(cfg StrideConfig) *Stride {
 	cfg = cfg.withDefaults()
-	return &Stride{cfg: cfg, table: make([]stream, cfg.Streams)}
+	p := &Stride{cfg: cfg, table: make([]stream, cfg.Streams)}
+	if units.IsPow2(cfg.LineSize) {
+		p.lineShift, p.pow2Line = units.Log2(cfg.LineSize), true
+	}
+	return p
 }
 
 // Observe implements Prefetcher.
 func (p *Stride) Observe(lineAddr uint64, out []uint64) []uint64 {
-	line := int64(lineAddr / uint64(p.cfg.LineSize))
+	var line int64
+	if p.pow2Line {
+		line = int64(lineAddr >> p.lineShift)
+	} else {
+		line = int64(lineAddr / uint64(p.cfg.LineSize))
+	}
 	p.clock++
 
-	// Find the tracked stream closest to this access.
+	// Find the tracked stream closest to this access. Tables of ≤64 streams
+	// (all presets) scan only the live slots via the validity mask; the
+	// ascending bit order preserves the lowest-index tie-break.
 	best, bestDist := -1, p.cfg.MatchWindowLines+1
-	for i := range p.table {
-		s := &p.table[i]
-		if !s.valid {
-			continue
+	if len(p.table) <= 64 {
+		for live := p.validMask; live != 0; live &= live - 1 {
+			i := bits.TrailingZeros64(live)
+			s := &p.table[i]
+			d := line - s.lastLine
+			if d < 0 {
+				d = -d
+			}
+			if d <= p.cfg.MatchWindowLines && d < bestDist {
+				best, bestDist = i, d
+			}
 		}
-		d := line - s.lastLine
-		if d < 0 {
-			d = -d
-		}
-		if d <= p.cfg.MatchWindowLines && d < bestDist {
-			best, bestDist = i, d
+	} else {
+		for i := range p.table {
+			s := &p.table[i]
+			if !s.valid {
+				continue
+			}
+			d := line - s.lastLine
+			if d < 0 {
+				d = -d
+			}
+			if d <= p.cfg.MatchWindowLines && d < bestDist {
+				best, bestDist = i, d
+			}
 		}
 	}
 
@@ -176,6 +214,7 @@ func (p *Stride) Observe(lineAddr uint64, out []uint64) []uint64 {
 			}
 		}
 		p.table[victim] = stream{lastLine: line, distance: p.cfg.InitDistance, lastUse: p.clock, valid: true}
+		p.validMask |= 1 << uint(victim)
 		return out
 	}
 
@@ -218,7 +257,11 @@ func (p *Stride) Observe(lineAddr uint64, out []uint64) []uint64 {
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next)*uint64(p.cfg.LineSize))
+		if p.pow2Line {
+			out = append(out, uint64(next)<<p.lineShift)
+		} else {
+			out = append(out, uint64(next)*uint64(p.cfg.LineSize))
+		}
 		p.Issued++
 	}
 	return out
@@ -229,6 +272,7 @@ func (p *Stride) Reset() {
 	for i := range p.table {
 		p.table[i] = stream{}
 	}
+	p.validMask = 0
 	p.clock = 0
 	p.Issued = 0
 }

@@ -382,9 +382,12 @@ func (e *Emulator) step(c *sim.Core) error {
 		}
 		write := s.Name[1] == 's'
 		base := x(in.Rs1)
+		// Unit-stride vector memory ops charge the whole burst through the
+		// bulk range API — one fused lookup per cache line instead of per
+		// element, with identical simulated timing and statistics.
+		c.TouchRange(base, size, e.VL, write)
 		for k := 0; k < e.VL; k++ {
 			addr := base + uint64(k*size)
-			c.Touch(addr, size, write)
 			if write {
 				var bits uint64
 				if size == 8 {

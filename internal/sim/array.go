@@ -46,6 +46,21 @@ func (a *F64) Store(c *Core, i int, v float64) {
 	a.Data[i] = v
 }
 
+// LoadRange charges reads of elements [lo,hi) as one unit-stride burst
+// (line-granular, see Core.TouchRange) and returns the backing slice. The
+// slice aliases the array — callers must not hold it across a Store.
+func (a *F64) LoadRange(c *Core, lo, hi int) []float64 {
+	c.TouchRange(a.Addr(lo), 8, hi-lo, false)
+	return a.Data[lo:hi:hi]
+}
+
+// StoreRange charges writes of elements [lo,lo+len(vals)) as one unit-stride
+// burst and copies vals into the array.
+func (a *F64) StoreRange(c *Core, lo int, vals []float64) {
+	c.TouchRange(a.Addr(lo), 8, len(vals), true)
+	copy(a.Data[lo:], vals)
+}
+
 // F32 is the float32 analogue of F64 (the blur kernels convert pixel
 // intensities to float, matching §4.3).
 type F32 struct {
@@ -88,4 +103,18 @@ func (a *F32) Load(c *Core, i int) float32 {
 func (a *F32) Store(c *Core, i int, v float32) {
 	c.touch(a.Addr(i), 4, true)
 	a.Data[i] = v
+}
+
+// LoadRange charges reads of elements [lo,hi) as one unit-stride burst and
+// returns the backing slice (aliasing the array's data).
+func (a *F32) LoadRange(c *Core, lo, hi int) []float32 {
+	c.TouchRange(a.Addr(lo), 4, hi-lo, false)
+	return a.Data[lo:hi:hi]
+}
+
+// StoreRange charges writes of elements [lo,lo+len(vals)) as one unit-stride
+// burst and copies vals into the array.
+func (a *F32) StoreRange(c *Core, lo int, vals []float32) {
+	c.TouchRange(a.Addr(lo), 4, len(vals), true)
+	copy(a.Data[lo:], vals)
 }

@@ -1,12 +1,20 @@
 package sim
 
+import "riscvmem/internal/hier"
+
 // Core is one simulated hardware thread inside a Run region. All methods
 // must be called only from the goroutine executing that core's body.
 type Core struct {
 	id  int
 	m   *Machine
-	e   *engine // nil in single-core regions
+	h   *hier.Hierarchy // == m.h, cached to skip a chase per access
+	e   *engine         // nil in single-core regions
 	now float64
+
+	// Hot-path constants copied from the machine at region start.
+	lineMask    uint64
+	issueScalar float64 // L1 hit cost without vectorization
+	autoVec     bool    // device auto-vectorizes (spec.AutoVecBytes > 0)
 
 	// Vec marks the current loop as compiler-vectorized on devices whose
 	// toolchain auto-vectorizes (machine.Spec.AutoVecBytes > 0): element
@@ -18,9 +26,10 @@ type Core struct {
 	// L0 line filter: the line touched by the previous access short-cuts
 	// the full TLB+L1 path, modelling the line-fill/store buffer that makes
 	// consecutive same-line accesses effectively free of lookup work.
-	lastLine  uint64
-	lastValid bool
-	lastDirty bool
+	// lastKey packs the line address with bit0 = valid and bit1 = dirty
+	// (line addresses are line-aligned, so the low bits are free), making
+	// the filter a single masked compare.
+	lastKey uint64
 
 	// Stats
 	Loads  uint64
@@ -46,44 +55,64 @@ func (c *Core) lanes(elemBytes int) float64 {
 	return l
 }
 
+// issueCost returns the per-element L1-hit issue cost, skipping the float
+// division on the scalar path (x/1.0 == x, so the value is unchanged).
+func (c *Core) issueCost(elemBytes int) float64 {
+	if c.Vec && c.autoVec {
+		return c.issueScalar / c.lanes(elemBytes)
+	}
+	return c.issueScalar
+}
+
 // touch charges one element access of elemBytes at addr.
 func (c *Core) touch(addr uint64, elemBytes int, write bool) {
+	line := addr &^ c.lineMask
+	// Same-line fast path. A write to a line last seen clean still needs
+	// the full path to set the dirty bit (lastKey compares dirty too).
 	if write {
 		c.Stores++
+		if c.lastKey == line|3 {
+			c.now += c.issueCost(elemBytes)
+			return
+		}
 	} else {
 		c.Loads++
+		if c.lastKey&^2 == line|1 {
+			c.now += c.issueCost(elemBytes)
+			return
+		}
 	}
-	h := c.m.h
-	line := addr &^ uint64(h.LineSize()-1)
-	issue := h.Config().L1HitCycles / c.lanes(elemBytes)
+	c.access(addr, line, write, c.issueCost(elemBytes))
+}
 
-	// Same-line fast path. A write to a line last seen clean still needs
-	// the full path to set the dirty bit.
-	if c.lastValid && line == c.lastLine && (!write || c.lastDirty) {
-		c.now += issue
-		return
+// access is the full per-line path shared by Touch and the range APIs: the
+// fused TLB + L1 lookup and, on a miss, the shared path. Single-core
+// regions resolve in one hierarchy call; multi-core regions split the
+// access so only the shared half is serialized by the engine.
+func (c *Core) access(addr, line uint64, write bool, issue float64) {
+	h := c.h
+	if c.e == nil {
+		c.now = h.Access(c.id, c.now, addr, write, issue)
+	} else {
+		tlbCycles, res := h.AccessL1(c.id, addr, write)
+		c.now += tlbCycles
+		if res.Hit {
+			c.now += issue
+		} else {
+			// Miss: order globally, then walk the shared path. The exposed
+			// latency is scaled by the device's miss-overlap factor (out-
+			// of-order cores hide part of it behind independent work).
+			c.e.enter(c.id, c.now)
+			done := h.MissRest(c.id, c.now, addr, res)
+			c.now += (done - c.now) * c.m.missOverlap
+			c.e.leave(c.id, c.now)
+		}
 	}
-
-	c.now += h.Translate(c.id, addr)
-	if h.L1Hit(c.id, addr) {
-		h.TouchL1(c.id, addr, write)
-		c.now += issue
-		c.lastLine, c.lastValid, c.lastDirty = line, true, write
-		return
+	key := line | 1
+	if write {
+		key |= 2
 	}
-
-	// Miss: order globally, then walk the shared path. The exposed latency
-	// is scaled by the device's miss-overlap factor (out-of-order cores
-	// hide part of it behind independent work).
-	if c.e != nil {
-		c.e.enter(c.id, c.now)
-	}
-	done := h.MissPath(c.id, c.now, addr, write)
-	c.now += (done - c.now) * h.MissOverlap()
-	if c.e != nil {
-		c.e.leave(c.id, c.now)
-	}
-	c.lastLine, c.lastValid, c.lastDirty = line, true, write
+	c.lastKey = key
 }
 
 // Touch charges one raw memory access of elemBytes at the simulated address
@@ -96,19 +125,29 @@ func (c *Core) Touch(addr uint64, elemBytes int, write bool) {
 // Flops charges n floating-point operations at the device's scalar rate, or
 // SIMD rate inside a vectorized region (8-byte lanes assumed for Flops; use
 // Flops32 for single precision).
-func (c *Core) Flops(n float64) {
-	c.now += n / (c.m.spec.FlopsPerCycle * c.lanes(8))
-}
+func (c *Core) Flops(n float64) { c.now += c.FlopCycles(n) }
 
 // Flops32 charges n single-precision operations.
-func (c *Core) Flops32(n float64) {
-	c.now += n / (c.m.spec.FlopsPerCycle * c.lanes(4))
-}
+func (c *Core) Flops32(n float64) { c.now += c.Flop32Cycles(n) }
 
 // IntOps charges n abstract integer/address/branch operations at the
 // device's issue width (loop overhead, index arithmetic).
-func (c *Core) IntOps(n float64) {
-	c.now += n / float64(c.m.spec.IssueWidth)
+func (c *Core) IntOps(n float64) { c.now += c.IntCycles(n) }
+
+// FlopCycles returns the cycle cost Flops(n) would charge under the current
+// vectorization state, for precomputing TouchSpans post-charges.
+func (c *Core) FlopCycles(n float64) float64 {
+	return n / (c.m.spec.FlopsPerCycle * c.lanes(8))
+}
+
+// Flop32Cycles is FlopCycles for single precision.
+func (c *Core) Flop32Cycles(n float64) float64 {
+	return n / (c.m.spec.FlopsPerCycle * c.lanes(4))
+}
+
+// IntCycles returns the cycle cost IntOps(n) would charge.
+func (c *Core) IntCycles(n float64) float64 {
+	return n / float64(c.m.spec.IssueWidth)
 }
 
 // Cycles charges a raw cycle count (fixed-function costs).

@@ -47,6 +47,20 @@ func (d *dispenser) grab(chunk int) (lo, hi int, ok bool) {
 // under the given schedule. chunk applies to Dynamic (values < 1 become 1).
 // It returns the region result (wall time = slowest core).
 func (m *Machine) ParallelFor(cores, n int, sched Schedule, chunk int, body func(c *Core, i int)) Result {
+	return m.ParallelRange(cores, n, sched, chunk, func(c *Core, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(c, i)
+		}
+	})
+}
+
+// ParallelRange is ParallelFor at range granularity: body receives each
+// contiguous index range [lo,hi) its core is scheduled (the whole static
+// share, or one dynamic chunk per grab). Scheduling, grab costs and event
+// ordering are identical to ParallelFor; the range form exists so bodies
+// can charge their memory traffic through the bulk range APIs
+// (Core.TouchRange / TouchSpans) instead of element by element.
+func (m *Machine) ParallelRange(cores, n int, sched Schedule, chunk int, body func(c *Core, lo, hi int)) Result {
 	if cores > m.spec.Cores {
 		cores = m.spec.Cores
 	}
@@ -73,18 +87,12 @@ func (m *Machine) ParallelFor(cores, n int, sched Schedule, chunk int, body func
 				if !ok {
 					return
 				}
-				for i := lo; i < hi; i++ {
-					body(c, i)
-				}
+				body(c, lo, hi)
 			}
 		})
 	default: // Static
 		return m.Run(cores, func(c *Core) {
-			lo := c.id * n / cores
-			hi := (c.id + 1) * n / cores
-			for i := lo; i < hi; i++ {
-				body(c, i)
-			}
+			body(c, c.id*n/cores, (c.id+1)*n/cores)
 		})
 	}
 }

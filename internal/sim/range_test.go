@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+
+	"riscvmem/internal/machine"
+)
+
+// runPattern executes body on a fresh machine of each preset and returns
+// the per-device (final core time, loads, stores, memory summary).
+type patternResult struct {
+	now    float64
+	loads  uint64
+	stores uint64
+	mem    Summary
+}
+
+func runPattern(t *testing.T, spec machine.Spec, elems int, body func(c *Core, a *F64)) patternResult {
+	t.Helper()
+	m, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.NewF64(elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r patternResult
+	m.RunSeq(func(c *Core) {
+		body(c, a)
+		r.now = c.NowCycles()
+		r.loads, r.stores = c.Loads, c.Stores
+	})
+	r.mem = m.Stats()
+	return r
+}
+
+// TestTouchRangeOracle asserts that TouchRange is bit-identical — simulated
+// cycles, access counters and all memory-system statistics — to the
+// per-element Touch loop it replaces, on every device preset, across
+// alignments, element widths and read/write.
+func TestTouchRangeOracle(t *testing.T) {
+	const elems = 6000
+	cases := []struct {
+		name      string
+		start     int64 // byte offset into the array
+		elemBytes int
+		n         int
+		write     bool
+	}{
+		{"read8", 0, 8, 4500, false},
+		{"write8", 0, 8, 4500, true},
+		{"read4-unaligned", 12, 4, 7000, false},
+		{"write2-odd", 3, 2, 5000, true},
+		{"read8-short", 8, 8, 3, false},
+	}
+	for _, spec := range machine.All() {
+		for _, tc := range cases {
+			ref := runPattern(t, spec, elems, func(c *Core, a *F64) {
+				addr := a.Addr(0) + uint64(tc.start)
+				for i := 0; i < tc.n; i++ {
+					c.Touch(addr+uint64(i*tc.elemBytes), tc.elemBytes, tc.write)
+				}
+			})
+			got := runPattern(t, spec, elems, func(c *Core, a *F64) {
+				c.TouchRange(a.Addr(0)+uint64(tc.start), tc.elemBytes, tc.n, tc.write)
+			})
+			if got != ref {
+				t.Errorf("%s/%s: TouchRange diverges from element path:\n got %+v\nwant %+v",
+					spec.Name, tc.name, got, ref)
+			}
+		}
+	}
+}
+
+// TestTouchSpansOracle asserts that TouchSpans reproduces the interleaved
+// per-element loop exactly, including the post charges, on every preset.
+func TestTouchSpansOracle(t *testing.T) {
+	const elems = 9000
+	for _, spec := range machine.All() {
+		spans := func(a *F64) []Span {
+			return []Span{
+				{Addr: a.Addr(0), Stride: 8, Bytes: 8},
+				{Addr: a.Addr(3000), Stride: 16, Bytes: 4},
+				{Addr: a.Addr(0), Stride: 8, Bytes: 8, Write: true},
+			}
+		}
+		const n = 1500
+		ref := runPattern(t, spec, elems, func(c *Core, a *F64) {
+			sp := spans(a)
+			f, g := c.Flop32Cycles(2), c.IntCycles(3)
+			for i := 0; i < n; i++ {
+				for _, s := range sp {
+					c.Touch(s.Addr+uint64(int64(i)*s.Stride), s.Bytes, s.Write)
+				}
+				c.Cycles(f)
+				c.Cycles(g)
+			}
+		})
+		got := runPattern(t, spec, elems, func(c *Core, a *F64) {
+			c.TouchSpans(n, spans(a), []float64{c.Flop32Cycles(2), c.IntCycles(3)})
+		})
+		if got != ref {
+			t.Errorf("%s: TouchSpans diverges from element path:\n got %+v\nwant %+v",
+				spec.Name, got, ref)
+		}
+	}
+}
+
+// TestLoadStoreRange checks the F64/F32 range helpers move the right data
+// and charge the same accesses as their scalar loops.
+func TestLoadStoreRange(t *testing.T) {
+	m := MustNew(machine.MangoPiD1())
+	a := m.MustNewF64(64)
+	b := m.MustNewF32(64)
+	for i := 0; i < 64; i++ {
+		a.Data[i] = float64(i)
+	}
+	m.RunSeq(func(c *Core) {
+		vals := a.LoadRange(c, 8, 24)
+		if len(vals) != 16 || vals[0] != 8 || vals[15] != 23 {
+			t.Errorf("LoadRange data wrong: %v", vals)
+		}
+		a.StoreRange(c, 0, []float64{100, 101})
+		if a.Data[0] != 100 || a.Data[1] != 101 {
+			t.Errorf("StoreRange data wrong: %v", a.Data[:2])
+		}
+		b.StoreRange(c, 4, []float32{1, 2, 3})
+		got := b.LoadRange(c, 4, 7)
+		if got[0] != 1 || got[2] != 3 {
+			t.Errorf("F32 range data wrong: %v", got)
+		}
+		if c.Loads == 0 || c.Stores == 0 {
+			t.Errorf("range APIs did not charge accesses: loads=%d stores=%d", c.Loads, c.Stores)
+		}
+	})
+}
+
+// TestFusedPathDeterminism runs an identical mixed single/multi-core
+// workload twice on every preset and requires exact agreement — the fused
+// lookup, memo layers and MSHR ring must not introduce any host-dependent
+// state.
+func TestFusedPathDeterminism(t *testing.T) {
+	run := func(spec machine.Spec) (float64, Summary) {
+		m := MustNew(spec)
+		a := m.MustNewF64(1 << 14)
+		m.ParallelFor(spec.Cores, 1<<14, Static, 0, func(c *Core, i int) {
+			a.Store(c, i, a.Load(c, (i*7)&(1<<14-1))+1)
+		})
+		res := m.RunSeq(func(c *Core) {
+			c.TouchRange(a.Addr(0), 8, 1<<14, false)
+		})
+		return res.Cycles, m.Stats()
+	}
+	for _, spec := range machine.All() {
+		c1, s1 := run(spec)
+		c2, s2 := run(spec)
+		if c1 != c2 || s1 != s2 {
+			t.Errorf("%s: nondeterministic: run1=(%v,%+v) run2=(%v,%+v)", spec.Name, c1, s1, c2, s2)
+		}
+	}
+}

@@ -34,6 +34,11 @@ type Machine struct {
 	clock float64
 	next  uint64 // bump allocator cursor
 	used  int64  // bytes allocated
+
+	// Hot-path constants hoisted out of the per-access loop.
+	lineMask    uint64  // LineSize-1
+	l1HitCycles float64 // hierarchy L1 hit cost
+	missOverlap float64 // exposed fraction of miss latency
 }
 
 // New instantiates a machine from a validated spec.
@@ -41,7 +46,12 @@ func New(spec machine.Spec) (*Machine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{spec: spec, h: spec.NewHierarchy(), next: pageSize}, nil
+	return &Machine{
+		spec: spec, h: spec.NewHierarchy(), next: pageSize,
+		lineMask:    uint64(spec.Mem.LineSize - 1),
+		l1HitCycles: spec.Mem.L1HitCycles,
+		missOverlap: spec.Mem.MissOverlap,
+	}, nil
 }
 
 // MustNew is New but panics on invalid specs (the built-in presets are
@@ -112,7 +122,12 @@ func (m *Machine) Run(n int, body func(c *Core)) Result {
 		e = newEngine(n)
 	}
 	for i := range cores {
-		cores[i] = &Core{id: i, m: m, e: e, now: start}
+		cores[i] = &Core{
+			id: i, m: m, h: m.h, e: e, now: start,
+			lineMask:    m.lineMask,
+			issueScalar: m.l1HitCycles,
+			autoVec:     m.spec.AutoVecBytes > 0,
+		}
 	}
 	if n == 1 {
 		body(cores[0])

@@ -57,13 +57,58 @@ type entry struct {
 	valid bool
 }
 
+// memoEntries sizes the direct-mapped lookup memo; a power of two.
+const memoEntries = 64
+
+// wayMemo remembers which way last held a page so repeated lookups of hot
+// pages skip the associative scan — decisive for the fully-associative
+// uTLBs (up to 40 ways) that sit on every simulated access. Purely an
+// accelerator: each use re-validates against the authoritative entry, so
+// hit/miss outcomes, recency and statistics are unchanged.
+type wayMemo struct {
+	key uint64 // vpn + 1; 0 means empty
+	way int32
+}
+
 // TLB is one translation cache level, LRU-replaced within each set.
 type TLB struct {
-	cfg     Config
-	sets    [][]entry
+	cfg Config
+	// entries holds all sets contiguously (set s occupies
+	// entries[s*ways : (s+1)*ways]) — one indirection per lookup.
+	entries []entry
+	ways    int
 	setMask uint64
 	clock   uint64
-	Stats   Stats
+
+	// Repeat-hit batcher: consecutive lookups of the same page — the
+	// dominant pattern, since a kernel touches a page's 64 lines back to
+	// back — are only counted here, and folded into the clock, the entry's
+	// recency stamp and the statistics on the next different-page
+	// operation. The folded state is exactly what the unbatched sequence
+	// produces: clock advances by one per lookup, the entry's stamp takes
+	// the final clock value, and nothing else observes the interim states.
+	lastVpn uint64 // vpn+1 of the last hit; 0 = none
+	lastIdx int32  // index into entries of that hit
+	pending uint64 // deferred repeat hits
+
+	memo  [memoEntries]wayMemo
+	stats Stats
+}
+
+// Stats returns the accumulated lookup counters.
+func (t *TLB) Stats() Stats {
+	t.flush()
+	return t.stats
+}
+
+// flush folds deferred repeat hits into the clock, recency and statistics.
+func (t *TLB) flush() {
+	if t.pending > 0 {
+		t.clock += t.pending
+		t.entries[t.lastIdx].used = t.clock
+		t.stats.Hits += t.pending
+		t.pending = 0
+	}
 }
 
 // New builds a TLB from cfg.
@@ -72,11 +117,12 @@ func New(cfg Config) (*TLB, error) {
 		return nil, err
 	}
 	nsets := cfg.Entries / cfg.Ways
-	t := &TLB{cfg: cfg, sets: make([][]entry, nsets), setMask: uint64(nsets - 1)}
-	for i := range t.sets {
-		t.sets[i] = make([]entry, cfg.Ways)
-	}
-	return t, nil
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]entry, cfg.Entries),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
+	}, nil
 }
 
 // MustNew is New but panics on error; for validated presets.
@@ -96,16 +142,40 @@ func (t *TLB) Config() Config { return t.cfg }
 // levels is explicit via Insert.
 func (t *TLB) Lookup(vaddr uint64) bool {
 	vpn := vaddr >> t.cfg.PageShift
-	set := t.sets[vpn&t.setMask]
+	if t.lastVpn == vpn+1 {
+		t.pending++ // repeat hit: fold lazily (see flush)
+		return true
+	}
+	return t.lookupCold(vpn)
+}
+
+// lookupCold handles a lookup of a page other than the immediately
+// preceding one: fold any deferred hits, then walk memo and set.
+func (t *TLB) lookupCold(vpn uint64) bool {
+	t.flush()
 	t.clock++
-	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].used = t.clock
-			t.Stats.Hits++
+	m := &t.memo[vpn&(memoEntries-1)]
+	base := int(vpn&t.setMask) * t.ways
+	if m.key == vpn+1 {
+		if e := &t.entries[base+int(m.way)]; e.valid && e.vpn == vpn {
+			e.used = t.clock
+			t.stats.Hits++
+			t.lastVpn, t.lastIdx = vpn+1, int32(base+int(m.way))
 			return true
 		}
 	}
-	t.Stats.Misses++
+	set := t.entries[base : base+t.ways]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].used = t.clock
+			m.key, m.way = vpn+1, int32(i)
+			t.stats.Hits++
+			t.lastVpn, t.lastIdx = vpn+1, int32(base+i)
+			return true
+		}
+	}
+	t.stats.Misses++
+	t.lastVpn = 0
 	return false
 }
 
@@ -113,7 +183,12 @@ func (t *TLB) Lookup(vaddr uint64) bool {
 // LRU entry of its set if needed.
 func (t *TLB) Insert(vaddr uint64) {
 	vpn := vaddr >> t.cfg.PageShift
-	set := t.sets[vpn&t.setMask]
+	// Inserting may evict the batcher's entry (and needs fresh recency
+	// stamps for its LRU choice): fold and invalidate it first.
+	t.flush()
+	t.lastVpn = 0
+	base := int(vpn&t.setMask) * t.ways
+	set := t.entries[base : base+t.ways]
 	t.clock++
 	victim := 0
 	for i := range set {
@@ -130,17 +205,18 @@ func (t *TLB) Insert(vaddr uint64) {
 		}
 	}
 	set[victim] = entry{vpn: vpn, used: t.clock, valid: true}
+	t.memo[vpn&(memoEntries-1)] = wayMemo{key: vpn + 1, way: int32(victim)}
 }
 
 // Reset clears entries and statistics.
 func (t *TLB) Reset() {
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			t.sets[i][j] = entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = entry{}
 	}
 	t.clock = 0
-	t.Stats = Stats{}
+	t.memo = [memoEntries]wayMemo{}
+	t.lastVpn, t.pending = 0, 0
+	t.stats = Stats{}
 }
 
 // Walker charges the cost of resolving a translation miss. Sv39 uses a

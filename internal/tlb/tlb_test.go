@@ -51,8 +51,8 @@ func TestLookupMissThenInsertHit(t *testing.T) {
 	if tl.Lookup(0x2000) {
 		t.Fatal("different page hit")
 	}
-	if tl.Stats.Hits != 1 || tl.Stats.Misses != 2 {
-		t.Fatalf("stats = %+v, want 1 hit / 2 misses", tl.Stats)
+	if tl.Stats().Hits != 1 || tl.Stats().Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", tl.Stats())
 	}
 }
 
@@ -101,8 +101,8 @@ func TestReset(t *testing.T) {
 	tl.Insert(0)
 	tl.Lookup(0)
 	tl.Reset()
-	if tl.Stats != (Stats{}) {
-		t.Fatalf("stats not cleared: %+v", tl.Stats)
+	if tl.Stats() != (Stats{}) {
+		t.Fatalf("stats not cleared: %+v", tl.Stats())
 	}
 	if tl.Lookup(0) {
 		t.Fatal("entry survived reset")

@@ -58,9 +58,29 @@ func DeviceByName(name string) (Device, error) { return machine.ByName(name) }
 // Machine is a live simulated device instance; Core is one simulated
 // hardware thread inside a parallel region. Use them to write custom kernels
 // against the timing model (see examples/customdevice).
+//
+// # Bulk range APIs
+//
+// Element accesses can be charged one at a time (F64.Load / F64.Store /
+// Core.Touch) or line-granularly in bulk:
+//
+//   - Core.TouchRange charges n consecutive unit-stride accesses: one fused
+//     TLB+L1 lookup per cache line touched instead of per element.
+//   - Core.TouchSpans charges n interleaved accesses across several element
+//     streams (Span) plus fixed per-iteration cycle charges — the shape of
+//     real kernel loops (load b[i], load c[i], store a[i], flops).
+//   - F64.LoadRange / F64.StoreRange (and the F32 analogues) wrap TouchRange
+//     together with the data movement.
+//
+// Both are defined to be exactly equivalent to the corresponding per-element
+// loop: simulated cycles bit for bit, identical cache/TLB/DRAM statistics
+// and replacement state. Oracle tests assert this on every device preset.
 type (
 	Machine = sim.Machine
 	Core    = sim.Core
+	// Span describes one unit-stride element stream inside a
+	// Core.TouchSpans batch.
+	Span = sim.Span
 )
 
 // NewMachine instantiates a device.

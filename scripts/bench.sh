@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Record simulator throughput in BENCH_simthroughput.json so the perf
+# trajectory is tracked across PRs. Appends one record per run with the
+# current commit, date, and ns/op of the two streaming benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-100000000x}"
+OUT="BENCH_simthroughput.json"
+
+raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkTouchRangeThroughput$' \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | grep ns/op)
+
+median() {
+    echo "$raw" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
+        awk '{a[NR]=$1} END {print (NR%2 ? a[(NR+1)/2] : (a[NR/2]+a[NR/2+1])/2)}'
+}
+
+legacy=$(median '^BenchmarkSimulatorThroughput') \
+trange=$(median '^BenchmarkTouchRangeThroughput') \
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
+import datetime
+import json
+import os
+
+out = os.environ["OUT"]
+record = {
+    "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "commit": os.environ["commit"],
+    "simulator_throughput_ns_per_op": float(os.environ["legacy"]),
+    "touchrange_throughput_ns_per_op": float(os.environ["trange"]),
+    "count": int(os.environ["COUNT"]),
+}
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {
+        "benchmark": "BenchmarkSimulatorThroughput (MangoPi streaming loads, "
+                     "host ns per simulated access)",
+        "baseline_ns_per_op": 18.84,
+        "records": [],
+    }
+doc.setdefault("records", []).append(record)
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
+      f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op -> {out}")
+EOF

@@ -1,12 +1,14 @@
 // Command gblur runs the Gaussian blur study (§4.3) on a simulated device:
-// one variant, or the full five-variant ladder.
+// one variant, or the full five-variant ladder, batched on a pooled runner.
 //
 // Usage:
 //
-//	gblur [-device NAME] [-w W] [-h H] [-c C] [-f F] [-variant NAME|all] [-verify]
+//	gblur [-device NAME] [-w W] [-h H] [-c C] [-f F] [-variant NAME|all]
+//	      [-verify] [-stats] [-format table|csv|json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +18,7 @@ import (
 	"riscvmem/internal/kernels/blur"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/report"
+	"riscvmem/internal/run"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 	variant := flag.String("variant", "all", "Naive, Unit-stride, 1D_kernels, Memory, Parallel or all")
 	verify := flag.Bool("verify", false, "verify against the reference convolution")
 	stats := flag.Bool("stats", false, "print memory-system counters per variant")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	flag.Parse()
 
 	spec, err := machine.ByName(*device)
@@ -34,14 +38,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gblur:", err)
 		os.Exit(1)
 	}
+	var workloads []run.Workload
 	var variants []blur.Variant
 	for _, v := range blur.Variants() {
 		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
 			variants = append(variants, v)
+			workloads = append(workloads, run.Blur(blur.Config{
+				W: *w, H: *h, C: *c, F: *f, Variant: v, Verify: *verify,
+			}))
 		}
 	}
-	if len(variants) == 0 {
+	if len(workloads) == 0 {
 		fmt.Fprintf(os.Stderr, "gblur: unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	results, err := run.New(run.Options{}).Run(context.Background(),
+		run.Cross([]machine.Spec{spec}, workloads))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gblur:", err)
 		os.Exit(1)
 	}
 
@@ -53,21 +68,16 @@ func main() {
 		Title:   fmt.Sprintf("Gaussian blur, %d×%d×%d F=%d on %s", *w, *h, *c, *f, spec),
 		Headers: headers,
 	}
-	var naive float64
-	for _, v := range variants {
-		res, err := blur.Run(spec, blur.Config{W: *w, H: *h, C: *c, F: *f, Variant: v, Verify: *verify})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gblur:", err)
-			os.Exit(1)
-		}
-		if v == blur.Naive {
-			naive = res.Seconds
+	var naive run.Result
+	for i, res := range results {
+		if variants[i] == blur.Naive {
+			naive = res
 		}
 		sp := "-"
-		if naive > 0 {
-			sp = strconv.FormatFloat(naive/res.Seconds, 'f', 2, 64) + "×"
+		if naive.Seconds > 0 {
+			sp = strconv.FormatFloat(res.SpeedupOver(naive), 'f', 2, 64) + "×"
 		}
-		row := []string{v.String(), fmt.Sprintf("%.6f", res.Seconds), sp}
+		row := []string{variants[i].String(), fmt.Sprintf("%.6f", res.Seconds), sp}
 		if *stats {
 			row = append(row,
 				fmt.Sprintf("%.1f%%", 100*res.Mem.L1MissRate()),
@@ -77,5 +87,8 @@ func main() {
 		}
 		tb.Add(row...)
 	}
-	tb.Render(os.Stdout)
+	if err := report.Emit(os.Stdout, *format, tb); err != nil {
+		fmt.Fprintln(os.Stderr, "gblur:", err)
+		os.Exit(1)
+	}
 }

@@ -1,13 +1,16 @@
 // Command paperfigs regenerates the paper's figures (1, 2, 3, 6, 7) on the
-// simulated devices and renders them as tables and ASCII bar charts, or CSV.
+// simulated devices and renders them as tables and ASCII bar charts, CSV,
+// or JSON. The underlying Suite batches every figure's cross-product on a
+// pooled runner.
 //
 // Usage:
 //
-//	paperfigs [-fig all|1|2|3|6|7] [-scale N] [-full] [-verify] [-csv] [-device NAME]
+//	paperfigs [-fig all|1|2|3|6|7] [-scale N] [-full] [-verify]
+//	          [-format table|csv|json] [-device NAME]
 //
 // -scale divides the paper's workload sizes (default 8); -full is shorthand
 // for -scale 1, the paper's exact sizes (expect a long run). -device limits
-// the run to one machine.
+// the run to one machine. -csv is a deprecated alias for -format csv.
 package main
 
 import (
@@ -26,9 +29,21 @@ func main() {
 	scale := flag.Int("scale", 8, "divide paper workload sizes by this factor")
 	full := flag.Bool("full", false, "paper-scale run (overrides -scale; slow)")
 	verify := flag.Bool("verify", false, "verify kernel results against references")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables/charts")
+	csv := flag.Bool("csv", false, "deprecated alias for -format csv")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	device := flag.String("device", "", "restrict to one device (Xeon, RaspberryPi4, VisionFive, MangoPi)")
 	flag.Parse()
+
+	formatSet := false
+	flag.Visit(func(f *flag.Flag) { formatSet = formatSet || f.Name == "format" })
+	if *csv && !formatSet { // the alias never overrides an explicit -format
+		*format = "csv"
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want table, csv or json)", *format))
+	}
 
 	opt := core.Options{Scale: *scale, Verify: *verify}
 	if *full {
@@ -45,11 +60,11 @@ func main() {
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	if *fig == "devices" {
-		printDevices(opt)
+		printDevices(opt, *format)
 		return
 	}
 	if want("1") {
-		if err := fig1(s, *csv); err != nil {
+		if err := fig1(s, *format); err != nil {
 			fatal(err)
 		}
 	}
@@ -61,10 +76,10 @@ func main() {
 		}
 	}
 	if want("2") {
-		fig2(s, f2, *csv)
+		fig2(s, f2, *format)
 	}
 	if want("3") {
-		if err := fig3(s, f2, *csv); err != nil {
+		if err := fig3(s, f2, *format); err != nil {
 			fatal(err)
 		}
 	}
@@ -76,10 +91,10 @@ func main() {
 		}
 	}
 	if want("6") {
-		fig6(s, f6, *csv)
+		fig6(s, f6, *format)
 	}
 	if want("7") {
-		if err := fig7(s, f6, *csv); err != nil {
+		if err := fig7(s, f6, *format); err != nil {
 			fatal(err)
 		}
 	}
@@ -90,7 +105,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func printDevices(opt core.Options) {
+// emitRows writes headers+rows as CSV or JSON (the machine-readable
+// formats; table rendering stays figure-specific).
+func emitRows(format string, headers []string, rows [][]string) error {
+	return report.Emit(os.Stdout, format, report.Table{Headers: headers, Rows: rows})
+}
+
+func printDevices(opt core.Options, format string) {
 	devs := opt.Devices
 	if len(devs) == 0 {
 		devs = machine.All()
@@ -101,22 +122,23 @@ func printDevices(opt core.Options) {
 			fmt.Sprintf("%.1f", d.FreqGHz), fmt.Sprintf("%d MiB", d.RAMBytes>>20),
 			d.PeakDRAMBandwidth().String())
 	}
-	t.Render(os.Stdout)
+	if err := report.Emit(os.Stdout, format, t); err != nil {
+		fatal(err)
+	}
 }
 
-func fig1(s *core.Suite, csv bool) error {
+func fig1(s *core.Suite, format string) error {
 	cells, err := s.Fig1()
 	if err != nil {
 		return err
 	}
-	if csv {
+	if format != "table" {
 		rows := make([][]string, 0, len(cells))
 		for _, c := range cells {
 			rows = append(rows, []string{c.Device, c.Level, c.Test.String(),
 				fmt.Sprintf("%.4f", c.BW.GBps())})
 		}
-		report.CSV(os.Stdout, []string{"device", "level", "test", "gbps"}, rows)
-		return nil
+		return emitRows(format, []string{"device", "level", "test", "gbps"}, rows)
 	}
 	fmt.Println("=== Fig. 1: STREAM bandwidth per memory level (GB/s) ===")
 	ch := report.Chart{Unit: "GB/s", Width: 50, LogHint: true}
@@ -128,15 +150,17 @@ func fig1(s *core.Suite, csv bool) error {
 	return nil
 }
 
-func fig2(s *core.Suite, rows []core.Fig2Row, csv bool) {
-	if csv {
+func fig2(s *core.Suite, rows []core.Fig2Row, format string) {
+	if format != "table" {
 		out := make([][]string, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, []string{r.Device, strconv.Itoa(r.PaperN), strconv.Itoa(r.N),
 				r.Variant.String(), fmt.Sprintf("%.6f", r.Seconds),
 				fmt.Sprintf("%.3f", r.Speedup), strconv.FormatBool(r.Skipped)})
 		}
-		report.CSV(os.Stdout, []string{"device", "paper_n", "n", "variant", "seconds", "speedup", "skipped"}, out)
+		if err := emitRows(format, []string{"device", "paper_n", "n", "variant", "seconds", "speedup", "skipped"}, out); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	fmt.Printf("=== Fig. 2: matrix transposition time (simulated, N scaled %d×) ===\n", s.Options().Scale)
@@ -153,19 +177,18 @@ func fig2(s *core.Suite, rows []core.Fig2Row, csv bool) {
 	fmt.Println()
 }
 
-func fig3(s *core.Suite, f2 []core.Fig2Row, csv bool) error {
+func fig3(s *core.Suite, f2 []core.Fig2Row, format string) error {
 	rows, err := s.Fig3(f2)
 	if err != nil {
 		return err
 	}
-	if csv {
+	if format != "table" {
 		out := make([][]string, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, []string{r.Device, strconv.Itoa(r.PaperN), r.Variant.String(),
 				fmt.Sprintf("%.4f", r.Utilization), strconv.FormatBool(r.Skipped)})
 		}
-		report.CSV(os.Stdout, []string{"device", "paper_n", "variant", "utilization", "skipped"}, out)
-		return nil
+		return emitRows(format, []string{"device", "paper_n", "variant", "utilization", "skipped"}, out)
 	}
 	fmt.Println("=== Fig. 3: relative memory-bandwidth utilization (transpose) ===")
 	ch := report.Chart{Width: 50}
@@ -180,14 +203,16 @@ func fig3(s *core.Suite, f2 []core.Fig2Row, csv bool) error {
 	return nil
 }
 
-func fig6(s *core.Suite, rows []core.Fig6Row, csv bool) {
-	if csv {
+func fig6(s *core.Suite, rows []core.Fig6Row, format string) {
+	if format != "table" {
 		out := make([][]string, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, []string{r.Device, r.Variant.String(),
 				fmt.Sprintf("%.6f", r.Seconds), fmt.Sprintf("%.3f", r.Speedup)})
 		}
-		report.CSV(os.Stdout, []string{"device", "variant", "seconds", "speedup"}, out)
+		if err := emitRows(format, []string{"device", "variant", "seconds", "speedup"}, out); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	w, hgt := core.PaperImageW/s.Options().Scale, core.PaperImageH/s.Options().Scale
@@ -200,19 +225,18 @@ func fig6(s *core.Suite, rows []core.Fig6Row, csv bool) {
 	fmt.Println()
 }
 
-func fig7(s *core.Suite, f6 []core.Fig6Row, csv bool) error {
+func fig7(s *core.Suite, f6 []core.Fig6Row, format string) error {
 	rows, err := s.Fig7(f6)
 	if err != nil {
 		return err
 	}
-	if csv {
+	if format != "table" {
 		out := make([][]string, 0, len(rows))
 		for _, r := range rows {
 			out = append(out, []string{r.Device, r.Variant.String(),
 				fmt.Sprintf("%.4f", r.Utilization), fmt.Sprintf("%.3f", r.ImprovementOver1D)})
 		}
-		report.CSV(os.Stdout, []string{"device", "variant", "utilization", "improvement_over_1d"}, out)
-		return nil
+		return emitRows(format, []string{"device", "variant", "utilization", "improvement_over_1d"}, out)
 	}
 	fmt.Println("=== Fig. 7: relative memory-bandwidth utilization (blur) ===")
 	ch := report.Chart{Width: 50}

@@ -1,6 +1,7 @@
 // Command rvrun assembles and executes a RISC-V assembly file (RV64IMFD +
 // RVV subset) on a simulated device, reporting simulated time, retired
-// instructions, and final register state.
+// instructions, and final register state. The program runs as a custom
+// workload on the runner — the same execution path every other kernel uses.
 //
 // Usage:
 //
@@ -11,13 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"riscvmem/internal/machine"
 	"riscvmem/internal/riscv"
+	"riscvmem/internal/run"
 	"riscvmem/internal/sim"
+	"riscvmem/internal/units"
 )
 
 func main() {
@@ -49,23 +54,35 @@ func main() {
 		}
 		return
 	}
-	m, err := sim.New(spec)
-	if err != nil {
-		fatal(err)
-	}
-	emu, err := riscv.NewEmulator(prog, m, *mem)
-	if err != nil {
-		fatal(err)
-	}
-	emu.X[10] = emu.MemBase // a0 = data segment
-	res, err := emu.Run(*maxInstr)
+	// The assembled program as a Workload: the runner supplies the pooled
+	// machine, the emulator charges its accesses to it, and the unified
+	// Result carries the simulated time.
+	var emu *riscv.Emulator
+	workload := run.NewFunc("rvrun/"+filepath.Base(flag.Arg(0)),
+		func(ctx context.Context, m *sim.Machine) (run.Result, error) {
+			var err error
+			emu, err = riscv.NewEmulator(prog, m, *mem)
+			if err != nil {
+				return run.Result{}, err
+			}
+			emu.X[10] = emu.MemBase // a0 = data segment
+			res, err := emu.Run(*maxInstr)
+			if err != nil {
+				return run.Result{}, err
+			}
+			return run.Result{
+				Cycles:  res.Cycles,
+				Seconds: units.Seconds(res.Cycles, m.Spec().FreqGHz),
+			}, nil
+		})
+	result, err := run.New(run.Options{}).RunOne(context.Background(), spec, workload)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("device:       %s\n", spec)
 	fmt.Printf("instructions: %d\n", emu.Executed)
-	fmt.Printf("cycles:       %.0f\n", res.Cycles)
-	fmt.Printf("time:         %.9fs (simulated)\n", res.Seconds(spec))
+	fmt.Printf("cycles:       %.0f\n", result.Cycles)
+	fmt.Printf("time:         %.9fs (simulated)\n", result.Seconds)
 	if *regs {
 		for i := 0; i < 32; i += 4 {
 			for j := i; j < i+4; j++ {

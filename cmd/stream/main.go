@@ -1,12 +1,15 @@
 // Command stream runs the STREAM benchmark (§4.1) on one or all simulated
-// devices, per memory level, and prints achieved bandwidths.
+// devices, per memory level, and prints achieved bandwidths. All
+// measurements execute as one batch on a pooled runner.
 //
 // Usage:
 //
-//	stream [-device NAME] [-test COPY|SCALE|SUM|TRIAD|all] [-scale N] [-reps N]
+//	stream [-device NAME] [-test COPY|SCALE|SUM|TRIAD|all] [-scale N]
+//	       [-reps N] [-format table|csv|json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +18,7 @@ import (
 	"riscvmem/internal/kernels/stream"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/report"
+	"riscvmem/internal/run"
 )
 
 func main() {
@@ -22,6 +26,7 @@ func main() {
 	testName := flag.String("test", "all", "STREAM test: COPY, SCALE, SUM, TRIAD or all")
 	scale := flag.Int("scale", 8, "divide the DRAM working set by this factor")
 	reps := flag.Int("reps", 2, "timed repetitions (best kept)")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	flag.Parse()
 
 	var devices []machine.Spec
@@ -46,20 +51,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	tb := report.Table{Title: "STREAM bandwidth (simulated)", Headers: []string{"Device", "Level", "Test", "Bandwidth"}}
+	// One job per device × level × test, executed as a single batch.
+	var jobs []run.Job
+	type label struct{ device, level, test string }
+	var labels []label
 	for _, spec := range devices {
 		for _, lv := range stream.Levels(spec, *scale) {
 			for _, t := range tests {
-				m, err := stream.Run(spec, stream.Config{
+				jobs = append(jobs, run.Job{Device: spec, Workload: run.Stream(stream.Config{
 					Test: t, Elems: lv.Elems, Cores: lv.Cores, Reps: *reps, ScaleBy: lv.ScaleBy,
-				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "stream:", err)
-					os.Exit(1)
-				}
-				tb.Add(spec.Name, lv.Name, t.String(), m.Best.String())
+				})})
+				labels = append(labels, label{spec.Name, lv.Name, t.String()})
 			}
 		}
 	}
-	tb.Render(os.Stdout)
+	results, err := run.New(run.Options{}).Run(context.Background(), jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		os.Exit(1)
+	}
+
+	tb := report.Table{Title: "STREAM bandwidth (simulated)",
+		Headers: []string{"Device", "Level", "Test", "Bandwidth"}}
+	for i, r := range results {
+		tb.Add(labels[i].device, labels[i].level, labels[i].test, r.Bandwidth.String())
+	}
+	if err := report.Emit(os.Stdout, *format, tb); err != nil {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		os.Exit(1)
+	}
 }

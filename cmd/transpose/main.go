@@ -1,12 +1,15 @@
 // Command transpose runs the in-place matrix transposition study (§4.2) on a
-// simulated device: one variant, or the full five-variant ladder.
+// simulated device: one variant, or the full five-variant ladder, batched on
+// a pooled runner.
 //
 // Usage:
 //
 //	transpose [-device NAME] [-n N] [-variant NAME|all] [-block B] [-verify]
+//	          [-stats] [-format table|csv|json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +19,7 @@ import (
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/report"
+	"riscvmem/internal/run"
 )
 
 func main() {
@@ -25,6 +29,7 @@ func main() {
 	block := flag.Int("block", 0, "tile edge; 0 = auto (fits L1)")
 	verify := flag.Bool("verify", false, "verify the result matrix")
 	stats := flag.Bool("stats", false, "print memory-system counters per variant")
+	format := flag.String("format", "table", "output format: table, csv or json")
 	flag.Parse()
 
 	spec, err := machine.ByName(*device)
@@ -32,14 +37,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "transpose:", err)
 		os.Exit(1)
 	}
+	var workloads []run.Workload
 	var variants []transpose.Variant
 	for _, v := range transpose.Variants() {
 		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
 			variants = append(variants, v)
+			workloads = append(workloads, run.Transpose(transpose.Config{
+				N: *n, Variant: v, Block: *block, Verify: *verify,
+			}))
 		}
 	}
-	if len(variants) == 0 {
+	if len(workloads) == 0 {
 		fmt.Fprintf(os.Stderr, "transpose: unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	results, err := run.New(run.Options{}).Run(context.Background(),
+		run.Cross([]machine.Spec{spec}, workloads))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "transpose:", err)
 		os.Exit(1)
 	}
 
@@ -51,21 +67,16 @@ func main() {
 		Title:   fmt.Sprintf("In-place transposition, %d×%d doubles on %s", *n, *n, spec),
 		Headers: headers,
 	}
-	var naive float64
-	for _, v := range variants {
-		res, err := transpose.Run(spec, transpose.Config{N: *n, Variant: v, Block: *block, Verify: *verify})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "transpose:", err)
-			os.Exit(1)
-		}
-		if v == transpose.Naive {
-			naive = res.Seconds
+	var naive run.Result
+	for i, res := range results {
+		if variants[i] == transpose.Naive {
+			naive = res
 		}
 		sp := "-"
-		if naive > 0 {
-			sp = strconv.FormatFloat(naive/res.Seconds, 'f', 2, 64) + "×"
+		if naive.Seconds > 0 {
+			sp = strconv.FormatFloat(res.SpeedupOver(naive), 'f', 2, 64) + "×"
 		}
-		row := []string{v.String(), fmt.Sprintf("%.6f", res.Seconds), sp}
+		row := []string{variants[i].String(), fmt.Sprintf("%.6f", res.Seconds), sp}
 		if *stats {
 			row = append(row,
 				fmt.Sprintf("%.1f%%", 100*res.Mem.L1MissRate()),
@@ -75,5 +86,8 @@ func main() {
 		}
 		tb.Add(row...)
 	}
-	tb.Render(os.Stdout)
+	if err := report.Emit(os.Stdout, *format, tb); err != nil {
+		fmt.Fprintln(os.Stderr, "transpose:", err)
+		os.Exit(1)
+	}
 }

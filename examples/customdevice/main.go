@@ -1,11 +1,14 @@
-// Customdevice: the library's devices are just parameter sets — this example
-// upgrades the VisionFive into a hypothetical next-generation RISC-V board
-// (bigger L2, four memory channels, out-of-order-ish cores) and shows how
-// the paper's transposition study responds. This is the workflow for "what
-// would this kernel need from future RISC-V silicon?" questions.
+// Customdevice: the library's devices are just parameter sets and its
+// workloads are just values — this example upgrades the VisionFive into a
+// hypothetical next-generation RISC-V board (bigger L2, four memory
+// channels, out-of-order-ish cores), registers a custom pointer-chasing
+// kernel alongside the built-ins, and batches the whole device × workload
+// cross-product through one Runner. This is the workflow for "what would
+// this kernel need from future RISC-V silicon?" questions.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,54 +38,81 @@ func futureBoard() riscvmem.Device {
 	return d
 }
 
+// pointerChase is a custom kernel registered as a first-class workload:
+// dependent-load latency over an 8 MiB array at a prime stride that defeats
+// the prefetcher and the caches — the microbenchmark the presets' DRAM
+// latencies were sanity-checked against. Result.Cycles is the total chase
+// time; Seconds follows from the device clock.
+func pointerChase(ctx context.Context, m *riscvmem.Machine) (riscvmem.Result, error) {
+	const elems = 1 << 20
+	const loads = 1 << 15
+	arr, err := m.NewF64(elems)
+	if err != nil {
+		return riscvmem.Result{}, err
+	}
+	const stride = 8209 // prime
+	res := m.RunSeq(func(c *riscvmem.Core) {
+		idx := 0
+		for i := 0; i < loads; i++ {
+			arr.Load(c, idx)
+			idx = (idx + stride) % elems
+		}
+	})
+	return riscvmem.Result{
+		Cycles:  res.Cycles,
+		Seconds: res.Seconds(m.Spec()),
+		Bytes:   8 * loads,
+	}, nil
+}
+
 func main() {
 	base := riscvmem.VisionFive()
 	future := futureBoard()
 	if err := future.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	devices := []riscvmem.Device{base, future}
 
-	const n = 1024
-	fmt.Printf("In-place transposition of a %d×%d double matrix:\n\n", n, n)
-	for _, dev := range []riscvmem.Device{base, future} {
-		fmt.Println(dev)
-		var naive float64
-		for _, v := range riscvmem.TransposeVariants() {
-			res, err := riscvmem.RunTranspose(dev, riscvmem.TransposeConfig{N: n, Variant: v})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if v == riscvmem.TransposeNaive {
-				naive = res.Seconds
-			}
-			fmt.Printf("  %-16s %.4fs  (%.2f× vs naive)\n", v, res.Seconds, naive/res.Seconds)
-		}
-		fmt.Println()
+	// Custom kernels register next to the built-ins and are addressable by
+	// name from then on.
+	if err := riscvmem.Register(riscvmem.WorkloadFunc("chase/8MiB", pointerChase)); err != nil {
+		log.Fatal(err)
 	}
 
-	// A custom kernel against the raw machine API: pointer-chasing latency,
-	// the microbenchmark the presets' DRAM latencies were sanity-checked
-	// against.
-	fmt.Println("Dependent-load latency (pointer chase over 8 MiB):")
-	for _, dev := range []riscvmem.Device{base, future} {
-		m, err := riscvmem.NewMachine(dev)
-		if err != nil {
-			log.Fatal(err)
+	const n = 1024
+	var workloads []riscvmem.Workload
+	for _, v := range riscvmem.TransposeVariants() {
+		workloads = append(workloads,
+			riscvmem.TransposeWorkload(riscvmem.TransposeConfig{N: n, Variant: v}))
+	}
+	chase, err := riscvmem.WorkloadByName("chase/8MiB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads = append(workloads, chase)
+
+	// One batch over the full cross-product: 2 devices × 6 workloads.
+	runner := riscvmem.NewRunner(riscvmem.RunnerOptions{})
+	results, err := runner.Run(context.Background(), riscvmem.Jobs(devices, workloads))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("In-place transposition of a %d×%d double matrix, plus a custom\n", n, n)
+	fmt.Printf("pointer-chase workload, batched over %d jobs:\n\n", len(results))
+	i := 0
+	for _, dev := range devices {
+		fmt.Println(dev)
+		naive := results[i]
+		for range riscvmem.TransposeVariants() {
+			r := results[i]
+			i++
+			fmt.Printf("  %-26s %.4fs  (%.2f× vs naive)\n",
+				r.Workload, r.Seconds, r.SpeedupOver(naive))
 		}
-		const elems = 1 << 20
-		arr, err := m.NewF64(elems)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// A stride that defeats the prefetcher and the caches.
-		const stride = 8209 // prime
-		res := m.RunSeq(func(c *riscvmem.Core) {
-			idx := 0
-			for i := 0; i < 1<<15; i++ {
-				arr.Load(c, idx)
-				idx = (idx + stride) % elems
-			}
-		})
-		fmt.Printf("  %-12s %.1f cycles/load\n", dev.Name, res.Cycles/(1<<15))
+		r := results[i]
+		i++
+		fmt.Printf("  %-26s %.1f cycles/load\n", r.Workload, r.Cycles/(1<<15))
+		fmt.Println()
 	}
 }

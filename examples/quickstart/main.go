@@ -1,9 +1,12 @@
 // Quickstart: measure STREAM TRIAD bandwidth and run one optimized
-// transposition on two simulated devices, using only the public riscvmem
-// API. This is the five-minute tour of the library.
+// transposition on two simulated devices through the Workload/Runner API.
+// This is the five-minute tour of the library: workloads are values, a
+// Runner executes device × workload batches on pooled machines, and every
+// run reports the same unified Result type.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +14,9 @@ import (
 )
 
 func main() {
+	runner := riscvmem.NewRunner(riscvmem.RunnerOptions{})
+	ctx := context.Background()
+
 	for _, dev := range []riscvmem.Device{riscvmem.VisionFive(), riscvmem.XeonServer()} {
 		fmt.Println(dev)
 
@@ -18,29 +24,30 @@ func main() {
 		// arrays past every cache, exactly like the paper's method.
 		levels := riscvmem.StreamLevels(dev, 8)
 		dram := levels[len(levels)-1]
-		m, err := riscvmem.RunStream(dev, riscvmem.StreamConfig{
+		triad, err := runner.RunOne(ctx, dev, riscvmem.StreamWorkload(riscvmem.StreamConfig{
 			Test:  riscvmem.StreamTriad,
 			Elems: dram.Elems, Cores: dram.Cores, ScaleBy: dram.ScaleBy,
-		})
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  STREAM TRIAD (DRAM): %s\n", m.Best)
+		fmt.Printf("  STREAM TRIAD (DRAM): %s\n", triad.Bandwidth)
 
-		// Naive vs blocked transposition of a 1024×1024 double matrix.
-		naive, err := riscvmem.RunTranspose(dev, riscvmem.TransposeConfig{
-			N: 1024, Variant: riscvmem.TransposeNaive, Verify: true,
-		})
+		// Naive vs blocked transposition of a 1024×1024 double matrix,
+		// batched: both jobs reuse the pooled machine.
+		results, err := runner.Run(ctx, riscvmem.Jobs(
+			[]riscvmem.Device{dev},
+			[]riscvmem.Workload{
+				riscvmem.TransposeWorkload(riscvmem.TransposeConfig{
+					N: 1024, Variant: riscvmem.TransposeNaive, Verify: true}),
+				riscvmem.TransposeWorkload(riscvmem.TransposeConfig{
+					N: 1024, Variant: riscvmem.TransposeManualBlocking, Verify: true}),
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		blocked, err := riscvmem.RunTranspose(dev, riscvmem.TransposeConfig{
-			N: 1024, Variant: riscvmem.TransposeManualBlocking, Verify: true,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		naive, blocked := results[0], results[1]
 		fmt.Printf("  transpose 1024²: naive %.4fs, manual blocking %.4fs (%.1f× faster)\n\n",
-			naive.Seconds, blocked.Seconds, naive.Seconds/blocked.Seconds)
+			naive.Seconds, blocked.Seconds, blocked.SpeedupOver(naive))
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,60 +54,85 @@ done:
 	ecall
 `
 
-func runTriad(src string, n int) (gbps float64, checksum float64, instrs uint64) {
+// triadWorkload wraps one assembled triad as a custom Workload: the runner
+// supplies the pooled MangoPi machine, the emulator charges every access to
+// its timing model, and the unified Result carries the bandwidth. checksum
+// and instrs report back through pointers.
+func triadWorkload(name, src string, n int, checksum *float64, instrs *uint64) riscvmem.Workload {
 	prog, err := riscv.Assemble(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := riscvmem.NewMachine(riscvmem.MangoPiD1())
-	if err != nil {
-		log.Fatal(err)
-	}
-	emu, err := riscv.NewEmulator(prog, m, (3*n+16)*8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	a := emu.MemBase
-	b := a + uint64(n*8)
-	c := b + uint64(n*8)
-	bs := make([]float64, n)
-	cs := make([]float64, n)
-	for i := range bs {
-		bs[i] = float64(i % 31)
-		cs[i] = float64(i % 17)
-	}
-	if err := emu.WriteF64(b, bs); err != nil {
-		log.Fatal(err)
-	}
-	if err := emu.WriteF64(c, cs); err != nil {
-		log.Fatal(err)
-	}
-	emu.X[10], emu.X[11], emu.X[12], emu.X[13] = a, b, c, uint64(n)
-	emu.F[10] = 3.0
-
-	res, err := emu.Run(1 << 28)
-	if err != nil {
-		log.Fatal(err)
-	}
-	out, err := emu.ReadF64(a, n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, v := range out {
-		if want := bs[i] + 3.0*cs[i]; v != want {
-			log.Fatalf("a[%d] = %v, want %v", i, v, want)
+	return riscvmem.WorkloadFunc(name, func(ctx context.Context, m *riscvmem.Machine) (riscvmem.Result, error) {
+		emu, err := riscv.NewEmulator(prog, m, (3*n+16)*8)
+		if err != nil {
+			return riscvmem.Result{}, err
 		}
-		checksum += v
-	}
-	seconds := res.Seconds(riscvmem.MangoPiD1())
-	return 24 * float64(n) / seconds / 1e9, checksum, emu.Executed
+		a := emu.MemBase
+		b := a + uint64(n*8)
+		c := b + uint64(n*8)
+		bs := make([]float64, n)
+		cs := make([]float64, n)
+		for i := range bs {
+			bs[i] = float64(i % 31)
+			cs[i] = float64(i % 17)
+		}
+		if err := emu.WriteF64(b, bs); err != nil {
+			return riscvmem.Result{}, err
+		}
+		if err := emu.WriteF64(c, cs); err != nil {
+			return riscvmem.Result{}, err
+		}
+		emu.X[10], emu.X[11], emu.X[12], emu.X[13] = a, b, c, uint64(n)
+		emu.F[10] = 3.0
+
+		res, err := emu.Run(1 << 28)
+		if err != nil {
+			return riscvmem.Result{}, err
+		}
+		out, err := emu.ReadF64(a, n)
+		if err != nil {
+			return riscvmem.Result{}, err
+		}
+		*checksum = 0
+		for i, v := range out {
+			if want := bs[i] + 3.0*cs[i]; v != want {
+				return riscvmem.Result{}, fmt.Errorf("a[%d] = %v, want %v", i, v, want)
+			}
+			*checksum += v
+		}
+		*instrs = emu.Executed
+		seconds := res.Seconds(m.Spec())
+		bytes := int64(24 * n)
+		return riscvmem.Result{
+			Cycles:    res.Cycles,
+			Seconds:   seconds,
+			Bytes:     bytes,
+			Bandwidth: riscvmem.BytesPerSec(float64(bytes) / seconds),
+		}, nil
+	})
 }
 
 func main() {
 	const n = 1 << 15 // 768 KiB footprint: far beyond the D1's 32 KiB L1
 	fmt.Printf("STREAM TRIAD on the simulated XuanTie C906 (Mango Pi), n=%d doubles:\n\n", n)
-	sb, sc, si := runTriad(scalarTriad, n)
-	vb, vc, vi := runTriad(vectorTriad, n)
+
+	// Both triads run as one serial batch on a single pooled machine —
+	// Machine.Reset between the jobs restores power-on state, so each
+	// measures a cold hierarchy exactly like a fresh machine would.
+	var sc, vc float64
+	var si, vi uint64
+	runner := riscvmem.NewRunner(riscvmem.RunnerOptions{Parallelism: 1})
+	results, err := runner.Run(context.Background(), riscvmem.Jobs(
+		[]riscvmem.Device{riscvmem.MangoPiD1()},
+		[]riscvmem.Workload{
+			triadWorkload("triad/scalar", scalarTriad, n, &sc, &si),
+			triadWorkload("triad/rvv", vectorTriad, n, &vc, &vi),
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb, vb := results[0].Bandwidth.GBps(), results[1].Bandwidth.GBps()
 	fmt.Printf("  scalar RV64IMFD : %7.3f GB/s  (%9d instructions)\n", sb, si)
 	fmt.Printf("  RVV e64 (VLEN=128): %5.3f GB/s  (%9d instructions, %.1f× fewer)\n",
 		vb, vi, float64(si)/float64(vi))

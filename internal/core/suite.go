@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"riscvmem/internal/kernels/blur"
@@ -18,6 +19,7 @@ import (
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/metrics"
+	"riscvmem/internal/run"
 	"riscvmem/internal/units"
 )
 
@@ -57,15 +59,24 @@ func (o Options) withDefaults() Options {
 }
 
 // Suite runs experiments, caching the STREAM DRAM bandwidth each device
-// achieves (the denominator of every utilization metric).
+// achieves (the denominator of every utilization metric). All measurements
+// execute as batches on a pooled run.Runner: machines are reset and reused
+// across jobs, and the figure cross-products run on host goroutines — with
+// results bit-identical to serial fresh-machine runs (the runner package's
+// oracle tests pin this equivalence).
 type Suite struct {
 	opt    Options
+	runner *run.Runner
 	dramBW map[string]units.BytesPerSec
 }
 
 // NewSuite builds a Suite.
 func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt.withDefaults(), dramBW: map[string]units.BytesPerSec{}}
+	return &Suite{
+		opt:    opt.withDefaults(),
+		runner: run.New(run.Options{}),
+		dramBW: map[string]units.BytesPerSec{},
+	}
 }
 
 // Options returns the effective (defaulted) options.
@@ -79,17 +90,21 @@ func (s *Suite) DRAMBandwidth(spec machine.Spec) (units.BytesPerSec, error) {
 	}
 	levels := stream.Levels(spec, s.opt.Scale)
 	dram := levels[len(levels)-1]
-	var best units.BytesPerSec
+	workloads := make([]run.Workload, 0, len(stream.Tests()))
 	for _, t := range stream.Tests() {
-		m, err := stream.Run(spec, stream.Config{
+		workloads = append(workloads, run.Stream(stream.Config{
 			Test: t, Elems: dram.Elems, Cores: dram.Cores,
 			Reps: s.opt.Reps, ScaleBy: dram.ScaleBy,
-		})
-		if err != nil {
-			return 0, fmt.Errorf("stream %s on %s: %w", t, spec.Name, err)
-		}
-		if m.Best > best {
-			best = m.Best
+		}))
+	}
+	results, err := s.runner.Run(context.Background(), run.Cross([]machine.Spec{spec}, workloads))
+	if err != nil {
+		return 0, fmt.Errorf("stream DRAM sweep: %w", err)
+	}
+	var best units.BytesPerSec
+	for _, r := range results {
+		if r.Bandwidth > best {
+			best = r.Bandwidth
 		}
 	}
 	s.dramBW[spec.Name] = best
@@ -105,28 +120,33 @@ type Fig1Cell struct {
 	BW     units.BytesPerSec
 }
 
-// Fig1 measures STREAM at every memory level of every device.
+// Fig1 measures STREAM at every memory level of every device, batching the
+// whole device × level × test cross-product through the pooled runner.
 func (s *Suite) Fig1() ([]Fig1Cell, error) {
-	var out []Fig1Cell
+	var jobs []run.Job
+	var cells []Fig1Cell
 	for _, spec := range s.opt.Devices {
 		for _, lv := range stream.Levels(spec, s.opt.Scale) {
 			for _, t := range stream.Tests() {
-				m, err := stream.Run(spec, stream.Config{
+				jobs = append(jobs, run.Job{Device: spec, Workload: run.Stream(stream.Config{
 					Test: t, Elems: lv.Elems, Cores: lv.Cores,
 					Reps: s.opt.Reps, ScaleBy: lv.ScaleBy,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig1 %s/%s/%s: %w", spec.Name, lv.Name, t, err)
-				}
-				cell := Fig1Cell{Device: spec.Name, Level: lv.Name, Test: t, BW: m.Best}
-				if lv.Name == "DRAM" && m.Best > s.dramBW[spec.Name] {
-					s.dramBW[spec.Name] = m.Best // reuse for utilization metrics
-				}
-				out = append(out, cell)
+				})})
+				cells = append(cells, Fig1Cell{Device: spec.Name, Level: lv.Name, Test: t})
 			}
 		}
 	}
-	return out, nil
+	results, err := s.runner.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	for i, r := range results {
+		cells[i].BW = r.Bandwidth
+		if cells[i].Level == "DRAM" && r.Bandwidth > s.dramBW[cells[i].Device] {
+			s.dramBW[cells[i].Device] = r.Bandwidth // reuse for utilization metrics
+		}
+	}
+	return cells, nil
 }
 
 // Fig2Row is one bar of Fig. 2: a transposition variant's time on a device,
@@ -156,36 +176,47 @@ func (s *Suite) matrixSizes() [2]int {
 	return [2]int{clamp(PaperMatrixSmall / s.opt.Scale), clamp(PaperMatrixLarge / s.opt.Scale)}
 }
 
-// Fig2 runs the five transposition variants on both matrix sizes.
+// Fig2 runs the five transposition variants on both matrix sizes, batching
+// every fitting device × size × variant combination through the runner.
 func (s *Suite) Fig2() ([]Fig2Row, error) {
-	var out []Fig2Row
+	var jobs []run.Job
+	var rows []Fig2Row
+	measured := make([]int, 0, 8) // measured[result index] = row index
 	sizes := s.matrixSizes()
 	for _, spec := range s.opt.Devices {
 		for si, n := range sizes {
 			paperN := [2]int{PaperMatrixSmall, PaperMatrixLarge}[si]
-			if !spec.Fits(8 * int64(paperN) * int64(paperN)) {
-				for _, v := range transpose.Variants() {
-					out = append(out, Fig2Row{Device: spec.Name, N: n, PaperN: paperN, Variant: v, Skipped: true})
-				}
-				continue
-			}
-			var naive float64
+			fits := spec.Fits(8 * int64(paperN) * int64(paperN))
 			for _, v := range transpose.Variants() {
-				res, err := transpose.Run(spec, transpose.Config{N: n, Variant: v, Verify: s.opt.Verify})
-				if err != nil {
-					return nil, fmt.Errorf("fig2 %s/%v/%d: %w", spec.Name, v, n, err)
+				row := Fig2Row{Device: spec.Name, N: n, PaperN: paperN, Variant: v, Skipped: !fits}
+				if fits {
+					measured = append(measured, len(rows))
+					jobs = append(jobs, run.Job{Device: spec, Workload: run.Transpose(
+						transpose.Config{N: n, Variant: v, Verify: s.opt.Verify})})
 				}
-				if v == transpose.Naive {
-					naive = res.Seconds
-				}
-				out = append(out, Fig2Row{
-					Device: spec.Name, N: n, PaperN: paperN, Variant: v,
-					Seconds: res.Seconds, Speedup: metrics.Speedup(naive, res.Seconds),
-				})
+				rows = append(rows, row)
 			}
 		}
 	}
-	return out, nil
+	results, err := s.runner.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	type key struct {
+		dev string
+		n   int
+	}
+	naive := map[key]float64{}
+	for ri, res := range results {
+		row := &rows[measured[ri]]
+		row.Seconds = res.Seconds
+		k := key{row.Device, row.N}
+		if row.Variant == transpose.Naive {
+			naive[k] = res.Seconds
+		}
+		row.Speedup = metrics.Speedup(naive[k], res.Seconds)
+	}
+	return rows, nil
 }
 
 // Fig3Row is one bar of Fig. 3: memory-bandwidth utilization of the naive
@@ -268,25 +299,33 @@ type Fig6Row struct {
 	Speedup float64
 }
 
-// Fig6 runs the five Gaussian-blur variants on every device.
+// Fig6 runs the five Gaussian-blur variants on every device, batched as one
+// device × variant cross-product.
 func (s *Suite) Fig6() ([]Fig6Row, error) {
 	w, h := s.imageSize()
-	var out []Fig6Row
+	workloads := make([]run.Workload, 0, len(blur.Variants()))
+	for _, v := range blur.Variants() {
+		workloads = append(workloads, run.Blur(blur.Config{
+			W: w, H: h, C: PaperImageC, F: PaperFilter, Variant: v, Verify: s.opt.Verify,
+		}))
+	}
+	results, err := s.runner.Run(context.Background(), run.Cross(s.opt.Devices, workloads))
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	out := make([]Fig6Row, 0, len(results))
+	naive := map[string]float64{}
+	i := 0
 	for _, spec := range s.opt.Devices {
-		var naive float64
 		for _, v := range blur.Variants() {
-			res, err := blur.Run(spec, blur.Config{
-				W: w, H: h, C: PaperImageC, F: PaperFilter, Variant: v, Verify: s.opt.Verify,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%v: %w", spec.Name, v, err)
-			}
+			res := results[i]
+			i++
 			if v == blur.Naive {
-				naive = res.Seconds
+				naive[spec.Name] = res.Seconds
 			}
 			out = append(out, Fig6Row{
 				Device: spec.Name, W: w, H: h, Variant: v,
-				Seconds: res.Seconds, Speedup: metrics.Speedup(naive, res.Seconds),
+				Seconds: res.Seconds, Speedup: metrics.Speedup(naive[spec.Name], res.Seconds),
 			})
 		}
 	}

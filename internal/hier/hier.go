@@ -305,6 +305,25 @@ func (h *Hierarchy) TLBStats(core int) (tlb.Stats, uint64) {
 	return h.per[core].utlb.Stats(), h.per[core].walker.Walks
 }
 
+// L2StatsTotal sums the statistics of every L2 instance (one when shared,
+// per-core otherwise); the zero Stats when the device has no L2.
+func (h *Hierarchy) L2StatsTotal() cache.Stats { return sumStats(h.l2) }
+
+// L3StatsTotal sums the statistics of every L3 instance; the zero Stats
+// when the device has no L3.
+func (h *Hierarchy) L3StatsTotal() cache.Stats { return sumStats(h.l3) }
+
+func sumStats(cs []*cache.Cache) cache.Stats {
+	var total cache.Stats
+	for _, c := range cs {
+		total.Hits += c.Stats.Hits
+		total.Misses += c.Stats.Misses
+		total.Writebacks += c.Stats.Writebacks
+		total.Installs += c.Stats.Installs
+	}
+	return total
+}
+
 func (h *Hierarchy) l2For(core int) *cache.Cache {
 	if h.l2 == nil {
 		return nil

@@ -114,15 +114,23 @@ func BytesMoved(w, h, c int) int64 { return 16 * int64(w) * int64(h) * int64(c) 
 
 // Run executes one blur variant on a fresh simulated machine.
 func Run(spec machine.Spec, cfg Config) (Result, error) {
+	m, err := sim.New(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunOn(m, cfg)
+}
+
+// RunOn executes one blur variant on the given machine, which must be in its
+// power-on state (freshly constructed or Reset) — the pooled-runner entry
+// point that skips per-run Machine construction.
+func RunOn(m *sim.Machine, cfg Config) (Result, error) {
+	spec := m.Spec()
 	if cfg.W <= 0 || cfg.H <= 0 || cfg.C <= 0 {
 		return Result{}, fmt.Errorf("blur: bad image %dx%dx%d", cfg.W, cfg.H, cfg.C)
 	}
 	if cfg.F <= 0 || cfg.F%2 == 0 || cfg.F >= cfg.W || cfg.F >= cfg.H {
 		return Result{}, fmt.Errorf("blur: bad filter size %d for %dx%d", cfg.F, cfg.W, cfg.H)
-	}
-	m, err := sim.New(spec)
-	if err != nil {
-		return Result{}, err
 	}
 	w, h, ch, f := cfg.W, cfg.H, cfg.C, cfg.F
 	wc := w * ch

@@ -95,6 +95,11 @@ type Measurement struct {
 	Device string
 	// Best is the maximum bandwidth over the repetitions, scaled by ScaleBy.
 	Best units.BytesPerSec
+	// BestCycles is the region wall time (core cycles) of the fastest
+	// repetition — the one Best was derived from.
+	BestCycles float64
+	// Bytes is the STREAM-counted logical traffic of one repetition.
+	Bytes int64
 	// PerRep records each repetition's (unscaled) bandwidth.
 	PerRep []units.BytesPerSec
 	// Mem summarizes the machine's memory-system activity (all passes).
@@ -126,6 +131,17 @@ func elementwiseBody(c *sim.Core, t Test, a, b, cArr *sim.F64, d float64, i int)
 
 // Run executes one STREAM measurement on a fresh machine.
 func Run(spec machine.Spec, cfg Config) (Measurement, error) {
+	m, err := sim.New(spec)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return RunOn(m, cfg)
+}
+
+// RunOn executes one STREAM measurement on the given machine, which must be
+// in its power-on state (freshly constructed or Reset) — the pooled-runner
+// entry point that skips per-run Machine construction.
+func RunOn(m *sim.Machine, cfg Config) (Measurement, error) {
 	if cfg.Elems <= 0 {
 		return Measurement{}, fmt.Errorf("stream: non-positive array size %d", cfg.Elems)
 	}
@@ -138,10 +154,7 @@ func Run(spec machine.Spec, cfg Config) (Measurement, error) {
 	if cfg.ScaleBy <= 0 {
 		cfg.ScaleBy = 1
 	}
-	m, err := sim.New(spec)
-	if err != nil {
-		return Measurement{}, err
-	}
+	spec := m.Spec()
 	n := cfg.Elems
 	a, err := m.NewF64(n)
 	if err != nil {
@@ -220,6 +233,7 @@ func Run(spec machine.Spec, cfg Config) (Measurement, error) {
 
 	meas := Measurement{Config: cfg, Device: spec.Name}
 	bytes := cfg.Test.BytesPerIter() * int64(n)
+	meas.Bytes = bytes
 	m.ParallelRange(cfg.Cores, n, sim.Static, 0, body) // warm-up pass (untimed)
 	for r := 0; r < cfg.Reps; r++ {
 		res := m.ParallelRange(cfg.Cores, n, sim.Static, 0, body)
@@ -227,6 +241,7 @@ func Run(spec machine.Spec, cfg Config) (Measurement, error) {
 		meas.PerRep = append(meas.PerRep, bw)
 		if scaled := units.BytesPerSec(float64(bw) * float64(cfg.ScaleBy)); scaled > meas.Best {
 			meas.Best = scaled
+			meas.BestCycles = res.Cycles
 		}
 	}
 

@@ -94,6 +94,18 @@ func defaultBlock(spec machine.Spec) int {
 
 // Run executes one transposition variant on a fresh simulated machine.
 func Run(spec machine.Spec, cfg Config) (Result, error) {
+	m, err := sim.New(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunOn(m, cfg)
+}
+
+// RunOn executes one transposition variant on the given machine, which must
+// be in its power-on state (freshly constructed or Reset) — the
+// pooled-runner entry point that skips per-run Machine construction.
+func RunOn(m *sim.Machine, cfg Config) (Result, error) {
+	spec := m.Spec()
 	if cfg.N <= 0 {
 		return Result{}, fmt.Errorf("transpose: non-positive size %d", cfg.N)
 	}
@@ -105,10 +117,6 @@ func Run(spec machine.Spec, cfg Config) (Result, error) {
 	}
 	if cfg.N%cfg.Block != 0 {
 		return Result{}, fmt.Errorf("transpose: size %d not a multiple of block %d", cfg.N, cfg.Block)
-	}
-	m, err := sim.New(spec)
-	if err != nil {
-		return Result{}, err
 	}
 	n := cfg.N
 	mat, err := m.NewF64(n * n)

@@ -11,6 +11,8 @@ package machine
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 
 	"riscvmem/internal/cache"
 	"riscvmem/internal/dram"
@@ -64,6 +66,72 @@ func (s Spec) Validate() error {
 
 // NewHierarchy instantiates the device's memory system.
 func (s Spec) NewHierarchy() *hier.Hierarchy { return hier.MustNew(s.Mem) }
+
+// identity is the comparable projection of a Spec used by Identity.
+type identity struct {
+	name, cpu, isa string
+	cores          int
+	freqGHz        float64
+	ramBytes       int64
+	issueWidth     int
+	flopsPerCycle  float64
+	autoVecBytes   int
+
+	memCores     int
+	lineSize     int64
+	l1           cache.Config
+	l1HitCycles  float64
+	l2, l3       hier.Level
+	hasL2, hasL3 bool
+	utlb         tlb.Config
+	jtlb         tlb.Config
+	hasJTLB      bool
+	jtlbPenalty  float64
+	walkLevels   int
+	walkCycles   float64
+	dram         dram.Config
+	missOverlap  float64
+	maxInflight  int
+	prefFactory  uintptr
+}
+
+// Identity returns a comparable value that distinguishes device
+// parameterizations: two Specs yield equal identities only when every
+// simulation-relevant parameter matches. The pooled runner (internal/run)
+// keys machine reuse on this, so a modified preset never shares pooled
+// machines with its base even if the Name was left unchanged.
+//
+// One caveat: the prefetcher factory is a function and is compared by code
+// pointer. Closures created at the same source location but capturing
+// different state are indistinguishable — give such variants distinct
+// Names (each preset's factory is its own literal, so the built-ins are
+// always distinguished).
+func (s Spec) Identity() any {
+	id := identity{
+		name: s.Name, cpu: s.CPU, isa: s.ISA,
+		cores: s.Cores, freqGHz: s.FreqGHz, ramBytes: s.RAMBytes,
+		issueWidth: s.IssueWidth, flopsPerCycle: s.FlopsPerCycle, autoVecBytes: s.AutoVecBytes,
+
+		memCores: s.Mem.Cores, lineSize: s.Mem.LineSize,
+		l1: s.Mem.L1, l1HitCycles: s.Mem.L1HitCycles,
+		jtlbPenalty: s.Mem.JTLBPenalty, utlb: s.Mem.UTLB,
+		walkLevels: s.Mem.WalkLevels, walkCycles: s.Mem.WalkCycles,
+		dram: s.Mem.DRAM, missOverlap: s.Mem.MissOverlap, maxInflight: s.Mem.MaxInflight,
+	}
+	if s.Mem.L2 != nil {
+		id.hasL2, id.l2 = true, *s.Mem.L2
+	}
+	if s.Mem.L3 != nil {
+		id.hasL3, id.l3 = true, *s.Mem.L3
+	}
+	if s.Mem.JTLB != nil {
+		id.hasJTLB, id.jtlb = true, *s.Mem.JTLB
+	}
+	if s.Mem.NewPrefetcher != nil {
+		id.prefFactory = reflect.ValueOf(s.Mem.NewPrefetcher).Pointer()
+	}
+	return id
+}
 
 // Fits reports whether a working set of the given size fits in device RAM
 // (with a small allowance for the OS, mirroring the paper's observation that
@@ -254,12 +322,18 @@ func All() []Spec {
 	return []Spec{XeonServer(), RaspberryPi4(), VisionFive(), MangoPiD1()}
 }
 
-// ByName returns the preset with the given Name.
+// ByName returns the preset with the given Name. Names are case-sensitive;
+// the error for an unknown name lists the valid ones.
 func ByName(name string) (Spec, error) {
-	for _, s := range All() {
+	all := All()
+	for _, s := range all {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("machine: unknown device %q", name)
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return Spec{}, fmt.Errorf("machine: unknown device %q (valid: %s)", name, strings.Join(names, ", "))
 }

@@ -1,9 +1,11 @@
 package machine
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"riscvmem/internal/hier"
 	"riscvmem/internal/units"
 )
 
@@ -34,6 +36,102 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("Cray-1"); err == nil {
 		t.Error("unknown device accepted")
+	}
+}
+
+// TestByNameErrorPaths pins the failure behaviour cmd tools and the public
+// DeviceByName facade rely on: unknown, empty, case-mismatched and
+// whitespace-polluted names must all fail, the returned Spec must be zero
+// (and in particular not Validate), and the error must name the valid
+// presets so CLI users can self-correct.
+func TestByNameErrorPaths(t *testing.T) {
+	bad := []string{"", "xeon", "XEON", " Xeon", "Xeon ", "mangopi", "MangoPiD1", "Pi4", "device"}
+	for _, name := range bad {
+		s, err := ByName(name)
+		if err == nil {
+			t.Errorf("ByName(%q) unexpectedly succeeded with %q", name, s.Name)
+			continue
+		}
+		if s.Name != "" || s.Cores != 0 {
+			t.Errorf("ByName(%q) returned non-zero Spec %q alongside error", name, s.Name)
+		}
+		if s.Validate() == nil {
+			t.Errorf("ByName(%q) error Spec validates", name)
+		}
+		if !strings.Contains(err.Error(), "unknown device") {
+			t.Errorf("ByName(%q) error %q lacks the unknown-device marker", name, err)
+		}
+		for _, valid := range []string{"Xeon", "RaspberryPi4", "VisionFive", "MangoPi"} {
+			if !strings.Contains(err.Error(), valid) {
+				t.Errorf("ByName(%q) error %q does not list preset %s", name, err, valid)
+			}
+		}
+	}
+}
+
+// TestIdentityCoversAllSpecFields is the drift guard for Spec.Identity: it
+// pins the exact field sets of Spec and hier.Config that Identity mirrors
+// into its comparable projection. Adding a field to either struct fails
+// this test until the new field is (a) added to the identity struct in
+// machine.go and (b) appended to the pinned list here — which is the
+// reminder the pooled runner needs, since a field missing from Identity
+// would let devices differing only in that field share pooled machines.
+func TestIdentityCoversAllSpecFields(t *testing.T) {
+	check := func(typ reflect.Type, want []string) {
+		t.Helper()
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s fields changed:\n got %v\nwant %v\nupdate Spec.Identity and this pin together",
+				typ, got, want)
+		}
+	}
+	check(reflect.TypeOf(Spec{}), []string{
+		"Name", "CPU", "ISA", "Cores", "FreqGHz", "RAMBytes",
+		"IssueWidth", "FlopsPerCycle", "AutoVecBytes", "Mem",
+	})
+	check(reflect.TypeOf(hier.Config{}), []string{
+		"Cores", "LineSize", "L1", "L1HitCycles", "L2", "L3",
+		"UTLB", "JTLB", "JTLBPenalty", "WalkLevels", "WalkCycles",
+		"DRAM", "MissOverlap", "NewPrefetcher", "MaxInflight",
+	})
+	// The leaf config structs (cache/tlb/dram.Config, hier.Level) are
+	// embedded in the identity by value, so new fields there participate
+	// in pooling equality automatically — no pin needed.
+}
+
+// TestIdentityDistinguishesVariants spot-checks the projection: identical
+// presets share an identity, any parameter tweak breaks it.
+func TestIdentityDistinguishesVariants(t *testing.T) {
+	if VisionFive().Identity() != VisionFive().Identity() {
+		t.Fatal("identical presets have distinct identities")
+	}
+	mutations := map[string]func(*Spec){
+		"clock":         func(s *Spec) { s.FreqGHz = 2.0 },
+		"dram channels": func(s *Spec) { s.Mem.DRAM.Channels = 4 },
+		"L2 size":       func(s *Spec) { s.Mem.L2.Cache.Size *= 2 },
+		"drop L2":       func(s *Spec) { s.Mem.L2 = nil },
+		"jtlb entries":  func(s *Spec) { s.Mem.JTLB.Entries = 64 },
+		"miss overlap":  func(s *Spec) { s.Mem.MissOverlap = 0.5 },
+		"no prefetch":   func(s *Spec) { s.Mem.NewPrefetcher = nil },
+	}
+	base := VisionFive().Identity()
+	for name, mutate := range mutations {
+		s := VisionFive()
+		if s.Mem.L2 != nil { // deep-copy the pointed-to levels before mutating
+			l2 := *s.Mem.L2
+			s.Mem.L2 = &l2
+		}
+		if s.Mem.JTLB != nil {
+			j := *s.Mem.JTLB
+			s.Mem.JTLB = &j
+		}
+		mutate(&s)
+		if s.Identity() == base {
+			t.Errorf("mutation %q does not change the identity", name)
+		}
 	}
 }
 

@@ -1,8 +1,10 @@
 // Package report renders experiment results as aligned text tables, ASCII
-// bar charts (the terminal stand-ins for the paper's figures), and CSV.
+// bar charts (the terminal stand-ins for the paper's figures), CSV, and
+// JSON.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -81,6 +83,75 @@ func CSV(w io.Writer, headers []string, rows [][]string) {
 	for _, r := range rows {
 		writeRow(r)
 	}
+}
+
+// Emit renders the table's headers and rows in the given format: "table"
+// (aligned text, the default), "csv", or "json". The title is printed only
+// in table form.
+func Emit(w io.Writer, format string, t Table) error {
+	switch format {
+	case "", "table":
+		t.Render(w)
+		return nil
+	case "csv":
+		CSV(w, t.Headers, t.Rows)
+		return nil
+	case "json":
+		return JSON(w, t.Headers, t.Rows)
+	}
+	return fmt.Errorf("report: unknown format %q (want table, csv or json)", format)
+}
+
+// JSON writes rows as a JSON array of objects keyed by the headers,
+// preserving header order within each object. All values are emitted as
+// strings, mirroring the CSV encoding: cells missing from a short row
+// become empty strings, and cells beyond the headers are kept (not
+// dropped, matching CSV) under synthesized "colN" keys.
+func JSON(w io.Writer, headers []string, rows [][]string) error {
+	quote := func(s string) string {
+		b, err := json.Marshal(s)
+		if err != nil { // cannot happen for strings; keep the emitter total
+			return `""`
+		}
+		return string(b)
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		b.WriteString("  {")
+		n := len(headers)
+		if len(row) > n {
+			n = len(row)
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			key := fmt.Sprintf("col%d", i+1)
+			if i < len(headers) {
+				key = headers[i]
+			}
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteString(quote(key))
+			b.WriteString(": ")
+			b.WriteString(quote(cell))
+		}
+		b.WriteString("}")
+		if ri < len(rows)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
 }
 
 // Item is one bar of a Chart.

@@ -1,6 +1,9 @@
 package report
 
 import (
+	"encoding/json"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -90,5 +93,49 @@ func TestRound4(t *testing.T) {
 		if got := round4(in); got != want {
 			t.Errorf("round4(%v) = %v, want %v", in, got, want)
 		}
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var b strings.Builder
+	err := JSON(&b, []string{"device", "note"}, [][]string{
+		{"Xeon", `says "hi", ok`},
+		{"MangoPi"},                  // short row: missing cells become empty strings
+		{"VisionFive", "x", "extra"}, // long row: extras kept under colN keys, like CSV
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]string
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("emitted invalid JSON: %v\n%s", err, b.String())
+	}
+	want := []map[string]string{
+		{"device": "Xeon", "note": `says "hi", ok`},
+		{"device": "MangoPi", "note": ""},
+		{"device": "VisionFive", "note": "x", "col3": "extra"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("JSON = %v, want %v", got, want)
+	}
+	// Header order must be preserved in the serialized objects.
+	if !strings.Contains(b.String(), `"device": "Xeon", "note"`) {
+		t.Errorf("header order not preserved:\n%s", b.String())
+	}
+}
+
+func TestEmit(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a"}, Rows: [][]string{{"1"}}}
+	for _, format := range []string{"", "table", "csv", "json"} {
+		var b strings.Builder
+		if err := Emit(&b, format, tb); err != nil {
+			t.Errorf("Emit(%q): %v", format, err)
+		}
+		if !strings.Contains(b.String(), "1") {
+			t.Errorf("Emit(%q) lost the row:\n%s", format, b.String())
+		}
+	}
+	if err := Emit(io.Discard, "xml", tb); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

@@ -1,0 +1,33 @@
+package run
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/machine"
+)
+
+// BenchmarkRunnerBatch measures end-to-end batched-runner throughput: one
+// op is an 8-job STREAM COPY batch on the MangoPi preset, executed serially
+// on one pooled machine. Parallelism is pinned to 1 so the number tracks
+// per-job runner overhead (pool acquire, Machine.Reset, result plumbing)
+// plus simulation cost — not the host's core count. scripts/bench.sh
+// records the median in BENCH_simthroughput.json alongside the per-access
+// simulator metrics.
+func BenchmarkRunnerBatch(b *testing.B) {
+	spec := machine.MangoPiD1()
+	w := Stream(stream.Config{Test: stream.Copy, Elems: 4096, Reps: 1})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Device: spec, Workload: w}
+	}
+	r := New(Options{Parallelism: 1})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctx, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/sim"
+)
+
+// Job pairs a device with a workload: one cell of an evaluation
+// cross-product.
+type Job struct {
+	Device   machine.Spec
+	Workload Workload
+}
+
+// Progress reports one completed job of a batch. Done counts completions so
+// far (including this one); Index is the job's position in the submitted
+// slice. Exactly one of Result/Err is meaningful.
+type Progress struct {
+	Done, Total int
+	Index       int
+	Job         Job
+	Result      Result
+	Err         error
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Parallelism is the number of host worker goroutines a batch uses;
+	// 0 defaults to the host CPU count. Simulated results are bit-identical
+	// at every setting — parallelism only changes wall-clock time.
+	Parallelism int
+	// OnProgress, when set, is called serially (never concurrently) after
+	// each job of a batch completes.
+	OnProgress func(Progress)
+}
+
+// Runner executes jobs on a pool of reusable machines. Machines are keyed
+// by the device's full parameter identity (machine.Spec.Identity) and
+// restored with Machine.Reset between jobs instead of being re-constructed,
+// so a batch pays at most Parallelism constructions per distinct device —
+// and a modified spec never shares pooled machines with its base, even
+// when the Name was left unchanged (see Identity's prefetcher-factory
+// caveat).
+//
+// A Runner is safe for concurrent use; the zero value is not valid, use New.
+type Runner struct {
+	opt  Options
+	mu   sync.Mutex
+	pool map[any][]*sim.Machine
+}
+
+// New builds a Runner.
+func New(opt Options) *Runner {
+	return &Runner{opt: opt, pool: map[any][]*sim.Machine{}}
+}
+
+// acquire pops an idle machine for the device, resetting it to power-on, or
+// constructs one when the pool is empty.
+func (r *Runner) acquire(spec machine.Spec) (*sim.Machine, error) {
+	key := spec.Identity()
+	r.mu.Lock()
+	if ms := r.pool[key]; len(ms) > 0 {
+		m := ms[len(ms)-1]
+		r.pool[key] = ms[:len(ms)-1]
+		r.mu.Unlock()
+		m.Reset()
+		return m, nil
+	}
+	r.mu.Unlock()
+	return sim.New(spec)
+}
+
+// release returns a machine to the pool.
+func (r *Runner) release(m *sim.Machine) {
+	key := m.Spec().Identity()
+	r.mu.Lock()
+	r.pool[key] = append(r.pool[key], m)
+	r.mu.Unlock()
+}
+
+// runJob executes one job on a pooled machine.
+func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
+	if job.Workload == nil {
+		return Result{}, errors.New("run: job with nil workload")
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	m, err := r.acquire(job.Device)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := job.Workload.Run(ctx, m)
+	if err == nil && res.Mem == (sim.Summary{}) {
+		// Custom workloads rarely snapshot the counters themselves; the
+		// runner owns the machine, so fill them in (a no-op for runs with
+		// genuinely zero memory activity).
+		res.Mem = m.Stats()
+	}
+	r.release(m)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
+	}
+	if res.Workload == "" {
+		res.Workload = job.Workload.Name()
+	}
+	if res.Device == "" {
+		res.Device = job.Device.Name
+	}
+	return res, nil
+}
+
+// Run executes the batch and returns one Result per job, in job order —
+// results[i] always belongs to jobs[i], regardless of host scheduling. Jobs
+// are independent (each runs on its own fresh-or-reset machine), so the
+// simulated outcome of every job is identical to running it alone.
+//
+// All jobs are attempted; per-job failures are collected and returned
+// joined, in job order, alongside the successful results. Cancelling ctx
+// makes the remaining jobs fail with the context's error.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := r.opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var progressMu sync.Mutex
+	done := 0
+	report := func(i int) {
+		if r.opt.OnProgress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		r.opt.OnProgress(Progress{
+			Done: done, Total: len(jobs), Index: i,
+			Job: jobs[i], Result: results[i], Err: errs[i],
+		})
+		progressMu.Unlock()
+	}
+
+	if workers <= 1 {
+		for i := range jobs {
+			results[i], errs[i] = r.runJob(ctx, jobs[i])
+			report(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = r.runJob(ctx, jobs[i])
+					report(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return results, errors.Join(errs...)
+}
+
+// RunOne executes a single workload on a single device through the pool.
+func (r *Runner) RunOne(ctx context.Context, d machine.Spec, w Workload) (Result, error) {
+	return r.runJob(ctx, Job{Device: d, Workload: w})
+}

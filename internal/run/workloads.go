@@ -1,0 +1,102 @@
+package run
+
+import (
+	"context"
+	"fmt"
+
+	"riscvmem/internal/kernels/blur"
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/kernels/transpose"
+	"riscvmem/internal/sim"
+	"riscvmem/internal/units"
+)
+
+// Stream adapts one STREAM measurement configuration as a Workload. The
+// Result's Cycles/Seconds are the fastest repetition's region time,
+// Bandwidth is the benchmark's best (ScaleBy-scaled) figure, and Bytes the
+// STREAM-counted traffic of one repetition.
+func Stream(cfg stream.Config) Workload { return streamWorkload{cfg} }
+
+type streamWorkload struct{ cfg stream.Config }
+
+func (w streamWorkload) Name() string { return "stream/" + w.cfg.Test.String() }
+
+func (w streamWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	meas, err := stream.RunOn(m, w.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	spec := m.Spec()
+	return Result{
+		Workload:  w.Name(),
+		Device:    spec.Name,
+		Cycles:    meas.BestCycles,
+		Seconds:   units.Seconds(meas.BestCycles, spec.FreqGHz),
+		Bytes:     meas.Bytes,
+		Bandwidth: meas.Best,
+		Mem:       meas.Mem,
+	}, nil
+}
+
+// Transpose adapts one in-place transposition configuration as a Workload.
+// Bytes is the mandatory 16·N² traffic of the §3.3 utilization metric.
+func Transpose(cfg transpose.Config) Workload { return transposeWorkload{cfg} }
+
+type transposeWorkload struct{ cfg transpose.Config }
+
+func (w transposeWorkload) Name() string {
+	return fmt.Sprintf("transpose/%s", w.cfg.Variant)
+}
+
+func (w transposeWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res, err := transpose.RunOn(m, w.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	bytes := transpose.BytesMoved(res.N)
+	return Result{
+		Workload:  w.Name(),
+		Device:    res.Device,
+		Cycles:    res.Cycles,
+		Seconds:   res.Seconds,
+		Bytes:     bytes,
+		Bandwidth: units.Bandwidth(bytes, res.Cycles, m.Spec().FreqGHz),
+		Mem:       res.Mem,
+	}, nil
+}
+
+// Blur adapts one Gaussian-blur configuration as a Workload. Bytes is the
+// mandatory separable-blur traffic of the §3.3 utilization metric.
+func Blur(cfg blur.Config) Workload { return blurWorkload{cfg} }
+
+type blurWorkload struct{ cfg blur.Config }
+
+func (w blurWorkload) Name() string {
+	return fmt.Sprintf("gblur/%s", w.cfg.Variant)
+}
+
+func (w blurWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res, err := blur.RunOn(m, w.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	bytes := blur.BytesMoved(res.W, res.H, res.C)
+	return Result{
+		Workload:  w.Name(),
+		Device:    res.Device,
+		Cycles:    res.Cycles,
+		Seconds:   res.Seconds,
+		Bytes:     bytes,
+		Bandwidth: units.Bandwidth(bytes, res.Cycles, m.Spec().FreqGHz),
+		Mem:       res.Mem,
+	}, nil
+}

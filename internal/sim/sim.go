@@ -67,6 +67,22 @@ func MustNew(spec machine.Spec) *Machine {
 // Spec returns the device description.
 func (m *Machine) Spec() machine.Spec { return m.spec }
 
+// Reset restores the machine to its power-on state: the global clock returns
+// to zero, the allocator rewinds, and every structural component of the
+// memory hierarchy (caches, TLBs, prefetchers, MSHRs, DRAM queues) and all
+// statistics reset. A reset machine is bit-for-bit indistinguishable from a
+// freshly constructed one — the property the pooled Runner (internal/run)
+// relies on to reuse machines across jobs without re-allocation.
+//
+// Arrays allocated before the reset are invalidated: their simulated
+// addresses will be handed out again. Allocate anew after Reset.
+func (m *Machine) Reset() {
+	m.clock = 0
+	m.next = pageSize
+	m.used = 0
+	m.h.Reset()
+}
+
 // Hier exposes the memory hierarchy (stats inspection, ablations).
 func (m *Machine) Hier() *hier.Hierarchy { return m.h }
 

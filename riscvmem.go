@@ -14,24 +14,41 @@
 //
 // # Quick start
 //
-//	suite := riscvmem.NewSuite(riscvmem.Options{Scale: 8})
-//	rows, err := suite.Fig2() // the transposition study, all devices
+// Workloads are values; a Runner executes device × workload cross-products
+// as batches on a pool of reusable simulated machines:
 //
-// Or drive a single kernel on a single simulated device:
+//	runner := riscvmem.NewRunner(riscvmem.RunnerOptions{})
+//	res, err := runner.RunOne(context.Background(), riscvmem.VisionFive(),
+//	    riscvmem.TransposeWorkload(riscvmem.TransposeConfig{
+//	        N: 1024, Variant: riscvmem.TransposeBlocking}))
+//	// res.Seconds, res.Bandwidth, res.Mem.L1MissRate(), ...
 //
-//	res, err := riscvmem.RunTranspose(riscvmem.VisionFive(),
-//	    riscvmem.TransposeConfig{N: 1024, Variant: riscvmem.TransposeBlocking})
+//	results, err := runner.Run(context.Background(), riscvmem.Jobs(
+//	    riscvmem.Devices(),
+//	    []riscvmem.Workload{
+//	        riscvmem.BlurWorkload(riscvmem.BlurConfig{W: 640, H: 480, C: 3, F: 19,
+//	            Variant: riscvmem.BlurMemory}),
+//	    }))
+//
+// Custom kernels implement the Workload interface (or wrap a function with
+// WorkloadFunc) and plug into the same Runner, registry and tools as the
+// built-ins — see examples/customdevice. The figure-regeneration Suite
+// (NewSuite) sits on top of the same machinery.
 //
 // Every run is bit-for-bit deterministic: times come from the simulated
-// clock, never the host's.
+// clock, never the host's, and batched results are bit-identical to serial
+// ones regardless of Runner parallelism.
 package riscvmem
 
 import (
+	"context"
+
 	"riscvmem/internal/core"
 	"riscvmem/internal/kernels/blur"
 	"riscvmem/internal/kernels/stream"
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
+	"riscvmem/internal/run"
 	"riscvmem/internal/sim"
 	"riscvmem/internal/units"
 )
@@ -95,6 +112,76 @@ const (
 // BytesPerSec is a bandwidth; it formats as "12.34 GB/s".
 type BytesPerSec = units.BytesPerSec
 
+// Workload/Runner API: the composable execution layer (internal/run).
+//
+//   - A Workload is one executable kernel configuration: Name() plus
+//     Run(ctx, *Machine) → Result. Built-in kernels are adapted by
+//     StreamWorkload / TransposeWorkload / BlurWorkload; custom kernels
+//     implement the interface directly or wrap a function with WorkloadFunc.
+//   - Result is the one unified outcome type: simulated seconds and cycles,
+//     logical bytes and bandwidth, and the full per-level cache/TLB/DRAM
+//     summary (Mem), with the §3.3 metrics as methods (SpeedupOver,
+//     Utilization).
+//   - A Runner executes []Job batches on pooled machines (Machine.Reset
+//     instead of re-construction) across host goroutines, with results in
+//     job order, context cancellation and progress callbacks. Simulated
+//     results are bit-identical to serial fresh-machine runs.
+type (
+	// Workload is an executable kernel configuration.
+	Workload = run.Workload
+	// Job pairs a Device with a Workload — one cell of a cross-product.
+	Job = run.Job
+	// Result is the unified outcome of one workload execution.
+	Result = run.Result
+	// Runner executes job batches on a pool of reusable machines.
+	Runner = run.Runner
+	// RunnerOptions configures a Runner (parallelism, progress callback).
+	RunnerOptions = run.Options
+	// RunnerProgress reports one completed job of a batch.
+	RunnerProgress = run.Progress
+	// MemSummary is the per-level memory-system counter block carried by
+	// Result.Mem and the kernel-specific result types.
+	MemSummary = sim.Summary
+)
+
+// NewRunner builds a Runner.
+func NewRunner(opt RunnerOptions) *Runner { return run.New(opt) }
+
+// Jobs builds the device × workload cross-product, devices outermost.
+func Jobs(devices []Device, workloads []Workload) []Job {
+	return run.Cross(devices, workloads)
+}
+
+// WorkloadFunc wraps a plain function as a named Workload. The machine
+// passed to fn is in power-on state; charge accesses through its arrays and
+// cores and report a Result from the simulated clock.
+func WorkloadFunc(name string, fn func(context.Context, *Machine) (Result, error)) Workload {
+	return run.NewFunc(name, fn)
+}
+
+// StreamWorkload adapts a STREAM measurement as a Workload.
+func StreamWorkload(cfg StreamConfig) Workload { return run.Stream(cfg) }
+
+// TransposeWorkload adapts a transposition run as a Workload.
+func TransposeWorkload(cfg TransposeConfig) Workload { return run.Transpose(cfg) }
+
+// BlurWorkload adapts a Gaussian-blur run as a Workload.
+func BlurWorkload(cfg BlurConfig) Workload { return run.Blur(cfg) }
+
+// Register adds a workload to the process-wide registry under its Name,
+// making custom kernels addressable exactly like the built-ins. It errors
+// on nil workloads, empty names and duplicates.
+func Register(w Workload) error { return run.Register(w) }
+
+// MustRegister is Register but panics on error; for package init blocks.
+func MustRegister(w Workload) { run.MustRegister(w) }
+
+// WorkloadByName returns a registered workload.
+func WorkloadByName(name string) (Workload, error) { return run.Lookup(name) }
+
+// RegisteredWorkloads lists registered workload names, sorted.
+func RegisteredWorkloads() []string { return run.Names() }
+
 // STREAM (§4.1).
 type (
 	// StreamTest is COPY, SCALE, SUM or TRIAD.
@@ -117,6 +204,9 @@ const (
 func StreamTests() []StreamTest { return stream.Tests() }
 
 // RunStream executes one STREAM measurement on a fresh simulated device.
+//
+// Deprecated: use StreamWorkload with a Runner, which pools machines and
+// returns the unified Result type. RunStream remains as a thin wrapper.
 func RunStream(d Device, cfg StreamConfig) (StreamMeasurement, error) { return stream.Run(d, cfg) }
 
 // StreamLevels derives the measurable memory levels of a device, sized per
@@ -146,6 +236,9 @@ const (
 func TransposeVariants() []TransposeVariant { return transpose.Variants() }
 
 // RunTranspose executes one transposition variant on a fresh device.
+//
+// Deprecated: use TransposeWorkload with a Runner, which pools machines and
+// returns the unified Result type. RunTranspose remains as a thin wrapper.
 func RunTranspose(d Device, cfg TransposeConfig) (TransposeResult, error) {
 	return transpose.Run(d, cfg)
 }
@@ -173,6 +266,9 @@ const (
 func BlurVariants() []BlurVariant { return blur.Variants() }
 
 // RunBlur executes one blur variant on a fresh device.
+//
+// Deprecated: use BlurWorkload with a Runner, which pools machines and
+// returns the unified Result type. RunBlur remains as a thin wrapper.
 func RunBlur(d Device, cfg BlurConfig) (BlurResult, error) { return blur.Run(d, cfg) }
 
 // Experiment suite: regenerates the paper's figures.

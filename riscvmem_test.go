@@ -1,6 +1,8 @@
 package riscvmem_test
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"riscvmem"
@@ -119,5 +121,90 @@ func TestPaperConstants(t *testing.T) {
 	if riscvmem.PaperImageW != 2544 || riscvmem.PaperImageH != 2027 ||
 		riscvmem.PaperImageC != 3 || riscvmem.PaperFilter != 19 {
 		t.Error("image constants drifted from §4.3")
+	}
+}
+
+func TestRunnerFacade(t *testing.T) {
+	// The Workload/Runner surface: batch a device × workload cross-product,
+	// a deprecated wrapper, and a registered custom workload, and check the
+	// unified Result agrees with the legacy per-kernel path bit for bit.
+	dev := riscvmem.MangoPiD1()
+	runner := riscvmem.NewRunner(riscvmem.RunnerOptions{})
+	ctx := context.Background()
+
+	jobs := riscvmem.Jobs([]riscvmem.Device{dev}, []riscvmem.Workload{
+		riscvmem.StreamWorkload(riscvmem.StreamConfig{Test: riscvmem.StreamTriad, Elems: 1024, Reps: 1}),
+		riscvmem.TransposeWorkload(riscvmem.TransposeConfig{
+			N: 128, Variant: riscvmem.TransposeBlocking, Verify: true}),
+		riscvmem.BlurWorkload(riscvmem.BlurConfig{
+			W: 24, H: 20, C: 3, F: 5, Variant: riscvmem.BlurOneD, Verify: true}),
+	})
+	results, err := runner.Run(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+
+	legacyStream, err := riscvmem.RunStream(dev, riscvmem.StreamConfig{
+		Test: riscvmem.StreamTriad, Elems: 1024, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Bandwidth != legacyStream.Best || results[0].Mem != legacyStream.Mem {
+		t.Errorf("stream workload diverges from deprecated wrapper: %v vs %v",
+			results[0].Bandwidth, legacyStream.Best)
+	}
+	legacyTr, err := riscvmem.RunTranspose(dev, riscvmem.TransposeConfig{
+		N: 128, Variant: riscvmem.TransposeBlocking, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].Seconds != legacyTr.Seconds || results[1].Cycles != legacyTr.Cycles {
+		t.Errorf("transpose workload %.9f s, deprecated wrapper %.9f s",
+			results[1].Seconds, legacyTr.Seconds)
+	}
+	if results[1].Workload != "transpose/Blocking" || results[1].Device != "MangoPi" {
+		t.Errorf("result identification: %q on %q", results[1].Workload, results[1].Device)
+	}
+
+	// Custom workloads: registry + WorkloadFunc + RunOne. Registration is
+	// process-global with no unregister, so repeated in-process runs
+	// (go test -count=2) see a duplicate — tolerated below.
+	err = riscvmem.Register(riscvmem.WorkloadFunc("facade/touch",
+		func(ctx context.Context, m *riscvmem.Machine) (riscvmem.Result, error) {
+			a, err := m.NewF64(512)
+			if err != nil {
+				return riscvmem.Result{}, err
+			}
+			res := m.RunSeq(func(c *riscvmem.Core) {
+				for i := 0; i < a.Len(); i++ {
+					a.Store(c, i, 1)
+				}
+			})
+			return riscvmem.Result{Cycles: res.Cycles, Seconds: res.Seconds(m.Spec())}, nil
+		}))
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	w, err := riscvmem.WorkloadByName("facade/touch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.RunOne(ctx, dev, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Workload != "facade/touch" {
+		t.Errorf("custom workload result %+v", res)
+	}
+	names := riscvmem.RegisteredWorkloads()
+	found := false
+	for _, n := range names {
+		found = found || n == "facade/touch"
+	}
+	if !found {
+		t.Errorf("RegisteredWorkloads() = %v", names)
 	}
 }

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
 # Record simulator throughput in BENCH_simthroughput.json so the perf
 # trajectory is tracked across PRs. Appends one record per run with the
-# current commit, date, and ns/op of the two streaming benchmarks.
+# current commit, date, ns/op of the two streaming benchmarks, and the
+# batched-runner throughput (ns per 8-job pooled batch).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100000000x}"
+RUNNER_BENCHTIME="${RUNNER_BENCHTIME:-30x}"
 OUT="BENCH_simthroughput.json"
 
 raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkTouchRangeThroughput$' \
     -benchtime "$BENCHTIME" -count "$COUNT" . | grep ns/op)
+rawrunner=$(go test -run '^$' -bench 'BenchmarkRunnerBatch$' \
+    -benchtime "$RUNNER_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
 
 median() {
-    echo "$raw" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
+    echo "$2" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
         awk '{a[NR]=$1} END {print (NR%2 ? a[(NR+1)/2] : (a[NR/2]+a[NR/2+1])/2)}'
 }
 
-legacy=$(median '^BenchmarkSimulatorThroughput') \
-trange=$(median '^BenchmarkTouchRangeThroughput') \
+legacy=$(median '^BenchmarkSimulatorThroughput' "$raw") \
+trange=$(median '^BenchmarkTouchRangeThroughput' "$raw") \
+runner=$(median '^BenchmarkRunnerBatch' "$rawrunner") \
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
 import datetime
@@ -31,6 +36,7 @@ record = {
     "commit": os.environ["commit"],
     "simulator_throughput_ns_per_op": float(os.environ["legacy"]),
     "touchrange_throughput_ns_per_op": float(os.environ["trange"]),
+    "runner_batch_ns_per_op": float(os.environ["runner"]),
     "count": int(os.environ["COUNT"]),
 }
 try:
@@ -48,5 +54,6 @@ with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
-      f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op -> {out}")
+      f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op, "
+      f"runner_batch={record['runner_batch_ns_per_op']} ns/batch -> {out}")
 EOF

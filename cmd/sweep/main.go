@@ -1,0 +1,147 @@
+// Command sweep runs declarative device-parameter ablations: named axes
+// mutate a base device preset, the axis cross-product is expanded into
+// cells, and every cell × workload executes as one batch on the memoized
+// pooled runner. Each row reports the cell's time, its speedup over the
+// unmutated base cell, and its bandwidth ratio against it.
+//
+// Usage:
+//
+//	sweep -device MangoPi -axis maxinflight=1,2,4,8,16 -axis l2=off,base,1MiB
+//	      [-workloads transpose/Naive,stream/TRIAD] [-n 512] [-elems 65536]
+//	      [-reps 2] [-image 318x253x3] [-filter 19] [-format table|csv|json]
+//
+// Axis grammar (every axis also accepts the literal value "base", meaning
+// "leave the parameter at the preset's value"):
+//
+//	l2=off|<size>        L2 capacity (adds one to devices without), e.g. 128KiB
+//	maxinflight=<n>      per-core MSHR count (outstanding fills)
+//	l1ways=<n>           L1 associativity
+//	policy=<p>           replacement policy for all levels: LRU, Random, FIFO, PLRU
+//	missoverlap=<f>      exposed-miss-latency factor in (0,1]
+//	channels=<n>         DRAM channels
+//	dramlat=<cycles>     DRAM access latency
+//	prefdist=<n>         stride prefetcher max look-ahead distance
+//	preframp=on|off      automatic prefetch-distance ramping
+//	pref=off             disable prefetching
+//
+// Workloads are kernel/variant names: stream/{COPY,SCALE,SUM,TRIAD},
+// transpose/{Naive,Parallel,Blocking,Manual_blocking,Dynamic},
+// gblur/{Naive,Unit-stride,1D_kernels,Memory,Parallel}, or the name of any
+// workload registered through the library's registry.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"riscvmem/internal/kernels/blur"
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/kernels/transpose"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/report"
+	"riscvmem/internal/run"
+	"riscvmem/internal/sweep"
+)
+
+// axisFlags collects repeated -axis declarations.
+type axisFlags []sweep.Axis
+
+func (a *axisFlags) String() string { return fmt.Sprintf("%d axes", len(*a)) }
+
+func (a *axisFlags) Set(s string) error {
+	ax, err := sweep.ParseAxis(s)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, ax)
+	return nil
+}
+
+// workloadSizes carries the size flags the workload grammar resolves
+// against.
+type workloadSizes struct {
+	n, elems, reps, filter int
+	imgW, imgH, imgC       int
+}
+
+// parseWorkload resolves one kernel/variant name into a Workload.
+func parseWorkload(name string, sz workloadSizes) (run.Workload, error) {
+	kernel, variant, _ := strings.Cut(name, "/")
+	switch kernel {
+	case "stream":
+		for _, t := range stream.Tests() {
+			if strings.EqualFold(variant, t.String()) {
+				return run.Stream(stream.Config{Test: t, Elems: sz.elems, Reps: sz.reps}), nil
+			}
+		}
+	case "transpose":
+		for _, v := range transpose.Variants() {
+			if strings.EqualFold(variant, v.String()) {
+				return run.Transpose(transpose.Config{N: sz.n, Variant: v}), nil
+			}
+		}
+	case "gblur":
+		for _, v := range blur.Variants() {
+			if strings.EqualFold(variant, v.String()) {
+				return run.Blur(blur.Config{W: sz.imgW, H: sz.imgH, C: sz.imgC,
+					F: sz.filter, Variant: v}), nil
+			}
+		}
+	}
+	// Fall back to the process-wide registry for custom workloads.
+	if w, err := run.Lookup(name); err == nil {
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (want stream/<test>, transpose/<variant>, gblur/<variant> or a registered name)", name)
+}
+
+func main() {
+	device := flag.String("device", "MangoPi", "base device preset to ablate")
+	var axes axisFlags
+	flag.Var(&axes, "axis", "sweep axis as name=v1,v2,... (repeatable); axes: "+
+		strings.Join(sweep.AxisNames(), ", "))
+	workloads := flag.String("workloads", "transpose/Naive",
+		"comma-separated kernel/variant workloads to run in every cell")
+	n := flag.Int("n", 512, "transpose matrix dimension")
+	elems := flag.Int("elems", 65536, "STREAM per-array element count")
+	reps := flag.Int("reps", 2, "STREAM timed repetitions (best kept)")
+	image := flag.String("image", "318x253x3", "gblur image size as WxHxC")
+	filter := flag.Int("filter", 19, "gblur odd filter size")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	base, err := machine.ByName(*device)
+	if err != nil {
+		fail(err)
+	}
+	sz := workloadSizes{n: *n, elems: *elems, reps: *reps, filter: *filter}
+	if _, err := fmt.Sscanf(*image, "%dx%dx%d", &sz.imgW, &sz.imgH, &sz.imgC); err != nil {
+		fail(fmt.Errorf("bad -image %q: want WxHxC", *image))
+	}
+	var ws []run.Workload
+	for _, name := range strings.Split(*workloads, ",") {
+		w, err := parseWorkload(strings.TrimSpace(name), sz)
+		if err != nil {
+			fail(err)
+		}
+		ws = append(ws, w)
+	}
+
+	res, err := sweep.Run(context.Background(), sweep.Config{
+		Base: base, Axes: axes, Workloads: ws,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := report.Emit(os.Stdout, *format, res.Table()); err != nil {
+		fail(err)
+	}
+}

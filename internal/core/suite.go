@@ -64,6 +64,12 @@ func (o Options) withDefaults() Options {
 // across jobs, and the figure cross-products run on host goroutines — with
 // results bit-identical to serial fresh-machine runs (the runner package's
 // oracle tests pin this equivalence).
+//
+// The runner also memoizes Results (every built-in workload is run.Keyed),
+// so the suite's repeated cells simulate exactly once: DRAMBandwidth reuses
+// the Fig1 DRAM-level STREAM cells, a Fig3(nil) that re-derives Fig2 replays
+// it from the cache, and re-running any figure on the same Suite performs
+// zero new simulations (see CacheStats).
 type Suite struct {
 	opt    Options
 	runner *run.Runner
@@ -81,6 +87,11 @@ func NewSuite(opt Options) *Suite {
 
 // Options returns the effective (defaulted) options.
 func (s *Suite) Options() Options { return s.opt }
+
+// CacheStats reports the suite runner's memoization counters: hits is the
+// number of cells served from the result cache, misses the number of
+// simulations actually executed.
+func (s *Suite) CacheStats() (hits, misses uint64) { return s.runner.CacheStats() }
 
 // DRAMBandwidth returns the device's best achieved STREAM bandwidth at the
 // DRAM level (maximum over the four tests), measuring it on first use.

@@ -225,3 +225,50 @@ func TestFig3ReusesFig2Rows(t *testing.T) {
 		}
 	}
 }
+
+// TestSuiteRepeatedCellsHitCache pins the suite's memoization rebase:
+// re-running a figure on the same Suite, and deriving Fig3 from a fresh
+// Fig2 pass, perform zero new simulations — the runner's result cache
+// serves every repeated cell.
+func TestSuiteRepeatedCellsHitCache(t *testing.T) {
+	s := NewSuite(Options{Scale: 64, Devices: []machine.Spec{machine.MangoPiD1(), machine.VisionFive()}})
+	first, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMisses := s.CacheStats()
+	if coldMisses == 0 {
+		t.Fatal("cold Fig2 simulated nothing")
+	}
+	again, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := s.CacheStats(); misses != coldMisses {
+		t.Errorf("Fig2 re-run simulated %d new cells, want 0", misses-coldMisses)
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Errorf("row %d: cached Fig2 replay diverged: %+v != %+v", i, again[i], first[i])
+		}
+	}
+	// Fig3(nil) re-derives Fig2 internally: transposition cells replay from
+	// the cache; only the STREAM cells DRAMBandwidth needs simulate anew.
+	if _, err := s.Fig3(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, withStream := s.CacheStats()
+	streamCells := uint64(2 * 4) // 2 devices × 4 STREAM tests at the DRAM level
+	if withStream != coldMisses+streamCells {
+		t.Errorf("Fig3(nil) simulated %d new cells, want %d", withStream-coldMisses, streamCells)
+	}
+	// A second full derivation is entirely free: the Fig2 cells and the
+	// STREAM cells all replay from the cache (DRAMBandwidth additionally
+	// short-circuits through its own per-device map).
+	if _, err := s.Fig3(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, final := s.CacheStats(); final != coldMisses+streamCells {
+		t.Errorf("repeated Fig3(nil) simulated %d new cells, want 0", final-coldMisses-streamCells)
+	}
+}

@@ -64,8 +64,16 @@ type Config struct {
 	MissOverlap float64
 
 	// NewPrefetcher builds one data prefetcher per core; nil disables
-	// prefetching.
+	// prefetching (unless Prefetch is set). When both are given,
+	// NewPrefetcher wins — it is the escape hatch for custom prefetcher
+	// implementations.
 	NewPrefetcher func() prefetch.Prefetcher
+
+	// Prefetch declaratively configures one stride prefetcher per core.
+	// Unlike NewPrefetcher it is plain data: device sweeps can copy and
+	// mutate it (distance, ramp), and machine.Spec.Identity compares it by
+	// value rather than by factory code pointer.
+	Prefetch *prefetch.StrideConfig
 
 	// MaxInflight caps concurrent outstanding fills per core (the MSHR
 	// count). It bounds single-core memory-level parallelism: effective
@@ -273,6 +281,9 @@ func New(cfg Config) (*Hierarchy, error) {
 		if cfg.NewPrefetcher != nil {
 			st.pref = cfg.NewPrefetcher()
 			st.stridePref, _ = st.pref.(*prefetch.Stride)
+		} else if cfg.Prefetch != nil {
+			st.stridePref = prefetch.NewStride(*cfg.Prefetch)
+			st.pref = st.stridePref
 		}
 		h.per[i] = st
 	}

@@ -93,6 +93,8 @@ type identity struct {
 	missOverlap  float64
 	maxInflight  int
 	prefFactory  uintptr
+	pref         prefetch.StrideConfig
+	hasPref      bool
 }
 
 // Identity returns a comparable value that distinguishes device
@@ -101,11 +103,12 @@ type identity struct {
 // keys machine reuse on this, so a modified preset never shares pooled
 // machines with its base even if the Name was left unchanged.
 //
-// One caveat: the prefetcher factory is a function and is compared by code
-// pointer. Closures created at the same source location but capturing
-// different state are indistinguishable — give such variants distinct
-// Names (each preset's factory is its own literal, so the built-ins are
-// always distinguished).
+// One caveat: a custom prefetcher factory (Mem.NewPrefetcher) is a function
+// and is compared by code pointer. Closures created at the same source
+// location but capturing different state are indistinguishable — give such
+// variants distinct Names, or use the declarative Mem.Prefetch config, which
+// is compared by value (all built-in presets and every sweep axis use it, so
+// they are always distinguished).
 func (s Spec) Identity() any {
 	id := identity{
 		name: s.Name, cpu: s.CPU, isa: s.ISA,
@@ -129,6 +132,11 @@ func (s Spec) Identity() any {
 	}
 	if s.Mem.NewPrefetcher != nil {
 		id.prefFactory = reflect.ValueOf(s.Mem.NewPrefetcher).Pointer()
+	} else if s.Mem.Prefetch != nil {
+		// The declarative config only takes effect when no factory is set
+		// (mirroring hier construction), so fold it in under the same
+		// condition — and by value, so mutated sweeps are distinguished.
+		id.hasPref, id.pref = true, *s.Mem.Prefetch
 	}
 	return id
 }
@@ -179,13 +187,11 @@ func MangoPiD1() Spec {
 				LatencyCycles: 100, LineBytes: lineSize},
 			MissOverlap: 1.0, // stalling in-order pipeline
 			MaxInflight: 8,
-			NewPrefetcher: func() prefetch.Prefetcher {
-				// §3.1: forward/backward consecutive and stride-based with
-				// stride ≤ 16 cache lines.
-				return prefetch.NewStride(prefetch.StrideConfig{
-					LineSize: lineSize, Streams: 8, MaxStrideLines: 16,
-					TrainThreshold: 2, InitDistance: 2, MaxDistance: 8, Ramp: false,
-				})
+			// §3.1: forward/backward consecutive and stride-based with
+			// stride ≤ 16 cache lines.
+			Prefetch: &prefetch.StrideConfig{
+				LineSize: lineSize, Streams: 8, MaxStrideLines: 16,
+				TrainThreshold: 2, InitDistance: 2, MaxDistance: 8, Ramp: false,
 			},
 		},
 	}
@@ -221,13 +227,11 @@ func VisionFive() Spec {
 				LatencyCycles: 140, LineBytes: lineSize},
 			MissOverlap: 1.0,
 			MaxInflight: 6,
-			NewPrefetcher: func() prefetch.Prefetcher {
-				// §3.1: forward and backward stride-based prefetch with large
-				// strides and automatically increased prefetch distance.
-				return prefetch.NewStride(prefetch.StrideConfig{
-					LineSize: lineSize, Streams: 8, MaxStrideLines: 0,
-					TrainThreshold: 2, InitDistance: 1, MaxDistance: 8, Ramp: true,
-				})
+			// §3.1: forward and backward stride-based prefetch with large
+			// strides and automatically increased prefetch distance.
+			Prefetch: &prefetch.StrideConfig{
+				LineSize: lineSize, Streams: 8, MaxStrideLines: 0,
+				TrainThreshold: 2, InitDistance: 1, MaxDistance: 8, Ramp: true,
 			},
 		},
 	}
@@ -261,11 +265,9 @@ func RaspberryPi4() Spec {
 				LatencyCycles: 230, LineBytes: lineSize},
 			MissOverlap: 0.55, // modest out-of-order miss overlap
 			MaxInflight: 8,
-			NewPrefetcher: func() prefetch.Prefetcher {
-				return prefetch.NewStride(prefetch.StrideConfig{
-					LineSize: lineSize, Streams: 8, MaxStrideLines: 0,
-					TrainThreshold: 2, InitDistance: 2, MaxDistance: 16, Ramp: true,
-				})
+			Prefetch: &prefetch.StrideConfig{
+				LineSize: lineSize, Streams: 8, MaxStrideLines: 0,
+				TrainThreshold: 2, InitDistance: 2, MaxDistance: 16, Ramp: true,
 			},
 		},
 	}
@@ -306,11 +308,9 @@ func XeonServer() Spec {
 				LatencyCycles: 270, LineBytes: lineSize},
 			MissOverlap: 0.22, // deep out-of-order window, many MSHRs
 			MaxInflight: 12,
-			NewPrefetcher: func() prefetch.Prefetcher {
-				return prefetch.NewStride(prefetch.StrideConfig{
-					LineSize: lineSize, Streams: 16, MaxStrideLines: 0,
-					TrainThreshold: 2, InitDistance: 4, MaxDistance: 32, Ramp: true,
-				})
+			Prefetch: &prefetch.StrideConfig{
+				LineSize: lineSize, Streams: 16, MaxStrideLines: 0,
+				TrainThreshold: 2, InitDistance: 4, MaxDistance: 32, Ramp: true,
 			},
 		},
 	}

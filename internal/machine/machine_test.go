@@ -95,7 +95,7 @@ func TestIdentityCoversAllSpecFields(t *testing.T) {
 	check(reflect.TypeOf(hier.Config{}), []string{
 		"Cores", "LineSize", "L1", "L1HitCycles", "L2", "L3",
 		"UTLB", "JTLB", "JTLBPenalty", "WalkLevels", "WalkCycles",
-		"DRAM", "MissOverlap", "NewPrefetcher", "MaxInflight",
+		"DRAM", "MissOverlap", "NewPrefetcher", "Prefetch", "MaxInflight",
 	})
 	// The leaf config structs (cache/tlb/dram.Config, hier.Level) are
 	// embedded in the identity by value, so new fields there participate
@@ -115,7 +115,9 @@ func TestIdentityDistinguishesVariants(t *testing.T) {
 		"drop L2":       func(s *Spec) { s.Mem.L2 = nil },
 		"jtlb entries":  func(s *Spec) { s.Mem.JTLB.Entries = 64 },
 		"miss overlap":  func(s *Spec) { s.Mem.MissOverlap = 0.5 },
-		"no prefetch":   func(s *Spec) { s.Mem.NewPrefetcher = nil },
+		"no prefetch":   func(s *Spec) { s.Mem.Prefetch = nil },
+		"pref distance": func(s *Spec) { s.Mem.Prefetch.MaxDistance *= 2 },
+		"pref ramp":     func(s *Spec) { s.Mem.Prefetch.Ramp = !s.Mem.Prefetch.Ramp },
 	}
 	base := VisionFive().Identity()
 	for name, mutate := range mutations {

@@ -28,7 +28,9 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Render writes the table to w.
+// Render writes the table to w. Ragged rows are handled: rows shorter than
+// the header leave trailing columns empty, and rows wider than the header
+// get their extra cells rendered under width-fitted (unnamed) columns.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -36,7 +38,10 @@ func (t *Table) Render(w io.Writer) {
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -49,12 +54,19 @@ func (t *Table) Render(w io.Writer) {
 			if i > 0 {
 				fmt.Fprint(w, "  ")
 			}
-			fmt.Fprintf(w, "%-*s", widths[i], c)
+			wd := len(c)
+			if i < len(widths) { // always true after the width pass; belt and braces
+				wd = widths[i]
+			}
+			fmt.Fprintf(w, "%-*s", wd, c)
 		}
 		fmt.Fprintln(w)
 	}
 	line(t.Headers)
-	total := len(t.Headers)*2 - 2
+	total := len(widths)*2 - 2
+	if total < 0 {
+		total = 0
+	}
 	for _, wd := range widths {
 		total += wd
 	}
@@ -65,14 +77,15 @@ func (t *Table) Render(w io.Writer) {
 }
 
 // CSV writes headers and rows as comma-separated values, quoting cells that
-// contain commas or quotes.
+// contain commas, quotes or line breaks (\n or \r — bare carriage returns
+// corrupt unquoted records just like newlines do, RFC 4180 §2).
 func CSV(w io.Writer, headers []string, rows [][]string) {
 	writeRow := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
 				fmt.Fprint(w, ",")
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 			}
 			fmt.Fprint(w, c)

@@ -139,3 +139,51 @@ func TestEmit(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+// TestTableRaggedRows is the regression test for the ragged-row panic: the
+// width pass guarded i < len(widths) but line() indexed widths[i] unguarded,
+// so any row wider than the header crashed Render.
+func TestTableRaggedRows(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.Add("1")                                    // shorter than the header
+	tb.Add("1", "2", "an-extra-wide-cell", "tail") // wider than the header
+	tb.Add("longer-than-header", "2")
+	out := tb.String() // must not panic
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// lines: 0 header, 1 separator, 2 short row, 3 ragged row, 4 long row.
+	if !strings.Contains(lines[3], "an-extra-wide-cell") {
+		t.Errorf("extra cells dropped: %q", lines[3])
+	}
+	// Alignment still holds for the named columns: "b" and the row cells
+	// under it start at the same offset.
+	off := strings.Index(lines[0], "b")
+	if lines[3][off] != '2' || lines[4][off] != '2' {
+		t.Errorf("misaligned ragged table:\n%s", out)
+	}
+	// The separator spans the widened table.
+	if w := len(lines[1]); w < len(strings.TrimRight(lines[3], " "))-6 {
+		t.Errorf("separator width %d too short for rows: %q", w, out)
+	}
+
+	// Degenerate tables render without panicking too.
+	empty := Table{}
+	_ = empty.String()
+	headerless := Table{Rows: [][]string{{"just", "cells"}}}
+	if !strings.Contains(headerless.String(), "just") {
+		t.Error("headerless table lost its rows")
+	}
+}
+
+// TestCSVQuotesCarriageReturn: \r must be quoted like \n (RFC 4180), or a
+// bare carriage return silently splits the record in many readers.
+func TestCSVQuotesCarriageReturn(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, []string{"a"}, [][]string{{"line\rbreak"}, {"crlf\r\nbreak"}})
+	want := "a\n\"line\rbreak\"\n\"crlf\r\nbreak\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

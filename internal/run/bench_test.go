@@ -8,26 +8,56 @@ import (
 	"riscvmem/internal/machine"
 )
 
-// BenchmarkRunnerBatch measures end-to-end batched-runner throughput: one
-// op is an 8-job STREAM COPY batch on the MangoPi preset, executed serially
-// on one pooled machine. Parallelism is pinned to 1 so the number tracks
-// per-job runner overhead (pool acquire, Machine.Reset, result plumbing)
-// plus simulation cost — not the host's core count. scripts/bench.sh
-// records the median in BENCH_simthroughput.json alongside the per-access
-// simulator metrics.
-func BenchmarkRunnerBatch(b *testing.B) {
+// benchJobs builds the 8-job STREAM COPY batch both runner benchmarks use.
+func benchJobs() []Job {
 	spec := machine.MangoPiD1()
 	w := Stream(stream.Config{Test: stream.Copy, Elems: 4096, Reps: 1})
 	jobs := make([]Job, 8)
 	for i := range jobs {
 		jobs[i] = Job{Device: spec, Workload: w}
 	}
-	r := New(Options{Parallelism: 1})
+	return jobs
+}
+
+// BenchmarkRunnerBatch measures cold end-to-end batched-runner throughput:
+// one op is an 8-job STREAM COPY batch on the MangoPi preset, executed
+// serially on one pooled machine with memoization off, so every job
+// simulates. Parallelism is pinned to 1 so the number tracks per-job runner
+// overhead (pool acquire, Machine.Reset, result plumbing) plus simulation
+// cost — not the host's core count. scripts/bench.sh records the median in
+// BENCH_simthroughput.json alongside the per-access simulator metrics.
+func BenchmarkRunnerBatch(b *testing.B) {
+	jobs := benchJobs()
+	r := New(Options{Parallelism: 1, DisableCache: true})
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(ctx, jobs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerBatchCached is BenchmarkRunnerBatch on a memoized Runner
+// with a warm cache: the same 8-job batch re-executes with zero new
+// simulations, so the number is pure cache-path overhead (key construction,
+// map lookup, result copy). The cold/cached ratio is the payoff identical
+// cells get across suite re-runs and overlapping sweeps.
+func BenchmarkRunnerBatchCached(b *testing.B) {
+	jobs := benchJobs()
+	r := New(Options{Parallelism: 1})
+	ctx := context.Background()
+	if _, err := r.Run(ctx, jobs); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(ctx, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, misses := r.CacheStats(); misses != 1 {
+		b.Fatalf("cached benchmark simulated %d times, want 1", misses)
 	}
 }

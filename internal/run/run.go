@@ -83,6 +83,25 @@ type Workload interface {
 	Run(ctx context.Context, m *sim.Machine) (Result, error)
 }
 
+// Keyed is the optional interface behind the Runner's result memoization.
+//
+// A workload that implements it declares: "my Result on a given device is a
+// pure function of (device parameters, CacheKey())" — true for anything that
+// only drives the deterministic simulator. The Runner then caches Results
+// under (Spec.Identity, CacheKey) with singleflight deduplication, so
+// identical cells across batches, overlapping sweeps, and suite re-runs
+// simulate exactly once (bit-identical by construction: the cached value IS
+// the first run's Result).
+//
+// The key must cover every configuration field that can change the outcome —
+// deriving it from the full config struct (fmt.Sprintf("%+v", cfg), as the
+// built-in stream/transpose/blur adapters do) is the safe default, since new
+// fields then join the key automatically. Workloads with side effects or
+// host-dependent results must not implement Keyed.
+type Keyed interface {
+	CacheKey() string
+}
+
 // funcWorkload adapts a plain function into a Workload.
 type funcWorkload struct {
 	name string

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"riscvmem/internal/machine"
@@ -38,6 +39,10 @@ type Options struct {
 	// OnProgress, when set, is called serially (never concurrently) after
 	// each job of a batch completes.
 	OnProgress func(Progress)
+	// DisableCache turns off result memoization for Keyed workloads; every
+	// job then simulates, as in a fresh Runner. Cacheless runs are still
+	// bit-identical to cached ones — the cache only skips work.
+	DisableCache bool
 }
 
 // Runner executes jobs on a pool of reusable machines. Machines are keyed
@@ -48,16 +53,57 @@ type Options struct {
 // when the Name was left unchanged (see Identity's prefetcher-factory
 // caveat).
 //
+// On top of pooling, the Runner memoizes Results for workloads that opt in
+// through the Keyed interface: the cache is keyed by (device identity,
+// workload cache key) and deduplicated in flight, so an identical cell —
+// within one batch, across batches, or across overlapping sweeps — simulates
+// exactly once. The simulator is deterministic (pinned by the oracle tests),
+// so a cached Result is bit-identical to a re-simulation.
+//
 // A Runner is safe for concurrent use; the zero value is not valid, use New.
 type Runner struct {
 	opt  Options
 	mu   sync.Mutex
 	pool map[any][]*sim.Machine
+
+	cache  map[resultKey]*flight
+	hits   uint64 // results served without a new simulation
+	misses uint64 // simulations actually executed for keyed jobs
+}
+
+// resultKey identifies one memoizable cell: the device's full parameter
+// identity plus the workload's self-declared configuration key.
+type resultKey struct {
+	device   any
+	workload string
+}
+
+// flight is one singleflight cache slot: the first job to claim a key
+// simulates and closes done; identical jobs arriving meanwhile (or later)
+// wait on done and share the result.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
 }
 
 // New builds a Runner.
 func New(opt Options) *Runner {
-	return &Runner{opt: opt, pool: map[any][]*sim.Machine{}}
+	return &Runner{
+		opt:   opt,
+		pool:  map[any][]*sim.Machine{},
+		cache: map[resultKey]*flight{},
+	}
+}
+
+// CacheStats reports the memoization counters: hits is the number of keyed
+// jobs served from the cache (including jobs that joined an in-flight
+// simulation), misses the number of simulations actually executed for keyed
+// jobs. Unkeyed jobs appear in neither.
+func (r *Runner) CacheStats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
 }
 
 // acquire pops an idle machine for the device, resetting it to power-on, or
@@ -84,7 +130,9 @@ func (r *Runner) release(m *sim.Machine) {
 	r.mu.Unlock()
 }
 
-// runJob executes one job on a pooled machine.
+// runJob executes one job, serving it from the memoization cache when the
+// workload is Keyed (and caching enabled) and simulating it on a pooled
+// machine otherwise.
 func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	if job.Workload == nil {
 		return Result{}, errors.New("run: job with nil workload")
@@ -92,11 +140,71 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	kw, keyed := job.Workload.(Keyed)
+	if !keyed || r.opt.DisableCache {
+		return r.simulate(ctx, job)
+	}
+	key := resultKey{device: job.Device.Identity(), workload: kw.CacheKey()}
+	for {
+		r.mu.Lock()
+		if f, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && ctx.Err() == nil &&
+					(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+					// The leader's batch was cancelled but ours was not
+					// (the Runner may be shared across batches); its
+					// cancellation must not fail our job. The failed
+					// flight was already evicted, so loop and retry —
+					// becoming the leader or joining a fresh flight.
+					continue
+				}
+				// Count the hit only when the joined flight's outcome is
+				// actually served — not on joins that end in a retry or in
+				// this job's own cancellation.
+				r.mu.Lock()
+				r.hits++
+				r.mu.Unlock()
+				return f.res, f.err
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		r.cache[key] = f
+		r.misses++
+		r.mu.Unlock()
+		f.res, f.err = r.simulate(ctx, job)
+		if f.err != nil {
+			// Failures are not memoized (a later identical job retries,
+			// and the eviction must precede close so retrying waiters
+			// never re-join this flight), but jobs already waiting share
+			// the error — unless it is another batch's cancellation, see
+			// above.
+			r.mu.Lock()
+			delete(r.cache, key)
+			r.mu.Unlock()
+		}
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// simulate executes one job on a pooled machine.
+func (r *Runner) simulate(ctx context.Context, job Job) (Result, error) {
 	m, err := r.acquire(job.Device)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
 	}
-	res, err := job.Workload.Run(ctx, m)
+	res, panicked, err := runWorkload(ctx, job.Workload, m)
+	if panicked {
+		// The panic may have fired mid-update deep inside the simulator,
+		// leaving the machine in an arbitrary partial state; discard it
+		// rather than re-pool it. The panic itself becomes a per-job error
+		// so the rest of the batch survives.
+		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
+	}
 	if err == nil && res.Mem == (sim.Summary{}) {
 		// Custom workloads rarely snapshot the counters themselves; the
 		// runner owns the machine, so fill them in (a no-op for runs with
@@ -116,6 +224,20 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	return res, nil
 }
 
+// runWorkload invokes the workload, converting a panic into an error (with
+// the panicking goroutine's stack) instead of killing the worker goroutine —
+// and with it the whole process — mid-batch.
+func runWorkload(ctx context.Context, w Workload, m *sim.Machine) (res Result, panicked bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, panicked = Result{}, true
+			err = fmt.Errorf("workload panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	res, err = w.Run(ctx, m)
+	return res, false, err
+}
+
 // Run executes the batch and returns one Result per job, in job order —
 // results[i] always belongs to jobs[i], regardless of host scheduling. Jobs
 // are independent (each runs on its own fresh-or-reset machine), so the
@@ -123,7 +245,10 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 //
 // All jobs are attempted; per-job failures are collected and returned
 // joined, in job order, alongside the successful results. Cancelling ctx
-// makes the remaining jobs fail with the context's error.
+// makes the remaining jobs fail with the context's error — reported as one
+// collapsed error carrying the skipped-job count, not one line per
+// remaining job (a cancelled 10k-job batch is 10k identical errors
+// otherwise). Per-job errors stay individually visible through OnProgress.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -175,7 +300,41 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		close(idx)
 		wg.Wait()
 	}
-	return results, errors.Join(errs...)
+	return results, joinBatchErrors(errs)
+}
+
+// joinBatchErrors joins per-job errors in job order, collapsing the
+// context-cancellation tail — every job that failed only because the batch
+// context ended — into one error with a skipped-job count. errors.Is still
+// matches context.Canceled / DeadlineExceeded on the joined error.
+//
+// Only the bare context sentinels are collapsed: those are exactly what
+// runJob returns for jobs it skipped without executing. A workload that ran
+// and failed with an error merely wrapping a context error (say, its own
+// internal timeout) keeps its individually identified entry.
+func joinBatchErrors(errs []error) error {
+	var kept []error
+	var ctxErr error
+	skipped := 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case err == context.Canceled || err == context.DeadlineExceeded:
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			skipped++
+		default:
+			kept = append(kept, err)
+		}
+	}
+	switch {
+	case skipped == 1:
+		kept = append(kept, ctxErr)
+	case skipped > 1:
+		kept = append(kept, fmt.Errorf("%d jobs skipped: %w", skipped, ctxErr))
+	}
+	return errors.Join(kept...)
 }
 
 // RunOne executes a single workload on a single device through the pool.

@@ -21,6 +21,10 @@ type streamWorkload struct{ cfg stream.Config }
 
 func (w streamWorkload) Name() string { return "stream/" + w.cfg.Test.String() }
 
+// CacheKey derives the memoization key from the full config, so every field
+// (including ones added later) participates — the Keyed contract.
+func (w streamWorkload) CacheKey() string { return fmt.Sprintf("stream/%+v", w.cfg) }
+
 func (w streamWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -51,6 +55,9 @@ func (w transposeWorkload) Name() string {
 	return fmt.Sprintf("transpose/%s", w.cfg.Variant)
 }
 
+// CacheKey derives the memoization key from the full config (Keyed).
+func (w transposeWorkload) CacheKey() string { return fmt.Sprintf("transpose/%+v", w.cfg) }
+
 func (w transposeWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -80,6 +87,9 @@ type blurWorkload struct{ cfg blur.Config }
 func (w blurWorkload) Name() string {
 	return fmt.Sprintf("gblur/%s", w.cfg.Variant)
 }
+
+// CacheKey derives the memoization key from the full config (Keyed).
+func (w blurWorkload) CacheKey() string { return fmt.Sprintf("gblur/%+v", w.cfg) }
 
 func (w blurWorkload) Run(ctx context.Context, m *sim.Machine) (Result, error) {
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/kernels/blur"
+	"riscvmem/internal/kernels/stream"
+	"riscvmem/internal/kernels/transpose"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/run"
+)
+
+// oracleWorkloads is a kernel mix covering all three built-in adapters.
+func oracleWorkloads() []run.Workload {
+	return []run.Workload{
+		run.Stream(stream.Config{Test: stream.Copy, Elems: 1500, Reps: 2}),
+		run.Transpose(transpose.Config{N: 128, Variant: transpose.Blocking, Verify: true}),
+		run.Blur(blur.Config{W: 48, H: 32, C: 3, F: 5, Variant: blur.OneD, Verify: true}),
+	}
+}
+
+// TestEmptyMutationSweepBitIdentical is the sweep oracle the memoization
+// claim rests on: a sweep whose axes are all at "base" mutates nothing, so
+// its (only) cell must reproduce the base preset bit-for-bit — simulated
+// cycles, seconds, bandwidth, and every Mem counter — against an
+// independent, cache-disabled runner on a fresh machine. With that
+// equivalence pinned, serving a repeated cell from the cache is provably
+// exact: the cached value IS the only value the simulator can produce.
+func TestEmptyMutationSweepBitIdentical(t *testing.T) {
+	for _, base := range machine.All() {
+		res, err := Run(context.Background(), Config{
+			Base: base,
+			Axes: []Axis{
+				MustParseAxis("l2=base"),
+				MustParseAxis("maxinflight=base"),
+				MustParseAxis("preframp=base"),
+			},
+			Workloads: oracleWorkloads(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", base.Name, err)
+		}
+		if len(res.PerCell) != len(oracleWorkloads()) {
+			t.Fatalf("%s: %d rows", base.Name, len(res.PerCell))
+		}
+		cold := run.New(run.Options{Parallelism: 1, DisableCache: true})
+		for i, w := range oracleWorkloads() {
+			want, err := cold.RunOne(context.Background(), base, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.PerCell[i]
+			if !got.Cell.Base {
+				t.Fatalf("%s: cell %d is not the base cell", base.Name, i)
+			}
+			if got.Result != want {
+				t.Errorf("%s / %s: empty-mutation sweep diverges from the base preset:\n got %+v\nwant %+v",
+					base.Name, w.Name(), got.Result, want)
+			}
+			if got.Speedup != 1 {
+				t.Errorf("%s / %s: base speedup = %v", base.Name, w.Name(), got.Speedup)
+			}
+		}
+	}
+}
+
+// TestSweepRerunHitsCache: re-running an identical sweep on a shared runner
+// performs zero new simulations, and overlapping sweeps share their common
+// cells.
+func TestSweepRerunHitsCache(t *testing.T) {
+	r := run.New(run.Options{})
+	cfg := Config{
+		Base:      machine.MangoPiD1(),
+		Axes:      []Axis{MustParseAxis("maxinflight=base,2,4")},
+		Workloads: []run.Workload{run.Transpose(transpose.Config{N: 128})},
+		Runner:    r,
+	}
+	first, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMisses := r.CacheStats()
+	if coldMisses != 3 {
+		t.Fatalf("cold sweep simulated %d cells, want 3", coldMisses)
+	}
+	again, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := r.CacheStats(); misses != coldMisses {
+		t.Errorf("identical sweep re-run simulated %d new cells, want 0", misses-coldMisses)
+	}
+	for i := range first.PerCell {
+		if first.PerCell[i].Result != again.PerCell[i].Result {
+			t.Errorf("row %d: cached sweep replay diverged", i)
+		}
+	}
+	// An overlapping sweep re-simulates only its new cells.
+	wider := cfg
+	wider.Axes = []Axis{MustParseAxis("maxinflight=base,2,4,16")}
+	if _, err := Run(context.Background(), wider); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := r.CacheStats(); misses != coldMisses+1 {
+		t.Errorf("overlapping sweep simulated %d new cells, want 1", misses-coldMisses)
+	}
+}

@@ -1,0 +1,316 @@
+// Package sweep runs declarative device-parameter ablations: named axes
+// that mutate a base machine.Spec — L2 present/size, MSHR count, prefetcher
+// distance/ramp, miss overlap, DRAM channels/latency, cache ways/policy —
+// expanded into the full axis cross-product and executed as one batch on the
+// memoized run.Runner.
+//
+// The paper's most interesting claims are ablation-shaped: the Mango Pi's
+// missing L2, the VisionFive's ramping prefetcher crowding out demand
+// traffic on a starved channel (Fig. 6), MSHR-bounded streaming bandwidth.
+// This package turns each of those "what if?" questions into one declaration:
+//
+//	res, err := sweep.Run(ctx, sweep.Config{
+//	    Base: machine.MangoPiD1(),
+//	    Axes: []sweep.Axis{
+//	        sweep.MustParseAxis("l2=base,128KiB,1MiB"),
+//	        sweep.MustParseAxis("maxinflight=1,8,16"),
+//	    },
+//	    Workloads: []run.Workload{run.Transpose(transpose.Config{N: 512})},
+//	})
+//
+// Every cell reports its speedup and bandwidth ratio against the base cell
+// (the unmutated preset) running the same workload. A cell whose axis points
+// are all "base" leaves the Spec untouched — byte-for-byte the preset — so
+// its results are bit-identical to a direct run of the preset (pinned by the
+// package's oracle test), and the memoized Runner makes overlapping sweeps
+// and re-runs nearly free: identical cells simulate exactly once.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/metrics"
+	"riscvmem/internal/report"
+	"riscvmem/internal/run"
+)
+
+// Point is one value of an axis: a label for reporting plus the spec
+// mutation it stands for. A nil Apply is the distinguished "base" point — it
+// leaves the spec untouched.
+type Point struct {
+	Label string
+	Apply func(machine.Spec) machine.Spec
+}
+
+// Base returns the identity point, labelled "base".
+func Base() Point { return Point{Label: "base"} }
+
+// Axis is one named sweep dimension.
+type Axis struct {
+	Name   string
+	Points []Point
+	// MutatesPrefetcher declares that this axis's points rewrite the
+	// declarative stride-prefetcher config (as prefdist/preframp do).
+	// Such mutations silently no-op on specs without one (custom
+	// NewPrefetcher factories, or a prefetcher removed by another axis),
+	// so Expand rejects those combinations instead of producing
+	// misleadingly labelled duplicate cells. Set it on programmatically
+	// built axes whose Apply uses WithPrefetchDistance/WithPrefetchRamp
+	// to get the same protection as the parsed grammar.
+	MutatesPrefetcher bool
+}
+
+// Cell is one point of the expanded cross-product.
+type Cell struct {
+	// Labels holds one "axis=value" entry per axis, in axis order.
+	Labels []string
+	// Spec is the mutated device. For the base cell it is byte-for-byte the
+	// base preset — same Name, same Identity — which is what makes the
+	// empty-mutation sweep bit-identical to a direct preset run.
+	Spec machine.Spec
+	// Base reports that every axis took its base point.
+	Base bool
+}
+
+// Expand builds the full axis cross-product over the base spec, first axis
+// outermost. Mutated cells are renamed "Base[axis=value,...]" (listing only
+// the non-base points) so results, pool keys and error messages stay
+// readable; the all-base cell keeps the spec untouched.
+func Expand(base machine.Spec, axes []Axis) ([]Cell, error) {
+	seen := map[string]bool{}
+	for _, ax := range axes {
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Name)
+		}
+		if seen[ax.Name] {
+			// A duplicate axis would silently let the later declaration
+			// override the earlier one while the labels claim both applied.
+			return nil, fmt.Errorf("sweep: axis %q declared twice", ax.Name)
+		}
+		seen[ax.Name] = true
+		if ax.MutatesPrefetcher && !base.HasDeclarativePrefetcher() {
+			return nil, fmt.Errorf("sweep: axis %q requires a declarative prefetcher config (machine.Spec.Mem.Prefetch), but device %s uses a custom factory",
+				ax.Name, base.Name)
+		}
+	}
+	type partial struct {
+		cell Cell
+		muts []string // labels of the non-base points, for the cell name
+		// declLabel remembers the first mutating point taken on a
+		// declarative-prefetcher axis, to diagnose cells where a later (or
+		// earlier) pref=off made that mutation a silent no-op.
+		declLabel string
+	}
+	parts := []partial{{cell: Cell{Spec: base, Base: true}}}
+	for _, ax := range axes {
+		next := make([]partial, 0, len(parts)*len(ax.Points))
+		for _, pc := range parts {
+			for _, p := range ax.Points {
+				label := ax.Name + "=" + p.Label
+				nc := partial{
+					cell: Cell{
+						Labels: append(append([]string{}, pc.cell.Labels...), label),
+						Spec:   pc.cell.Spec,
+						Base:   pc.cell.Base && p.Apply == nil,
+					},
+					muts:      pc.muts,
+					declLabel: pc.declLabel,
+				}
+				if p.Apply != nil {
+					if ax.MutatesPrefetcher && !nc.cell.Spec.HasDeclarativePrefetcher() {
+						return nil, fmt.Errorf("sweep: cell [%s]: axis %s has nothing to mutate — an earlier axis disabled the prefetcher",
+							strings.Join(nc.cell.Labels, ","), ax.Name)
+					}
+					nc.cell.Spec = p.Apply(nc.cell.Spec)
+					nc.muts = append(append([]string{}, pc.muts...), label)
+					if ax.MutatesPrefetcher && nc.declLabel == "" {
+						nc.declLabel = label
+					}
+				}
+				next = append(next, nc)
+			}
+		}
+		parts = next
+	}
+	cells := make([]Cell, len(parts))
+	for i, pc := range parts {
+		if pc.declLabel != "" && !pc.cell.Spec.HasDeclarativePrefetcher() {
+			// A later axis (pref=off) erased the prefetcher this cell's
+			// earlier mutation targeted; the row would be labelled with a
+			// distance/ramp that took no effect.
+			return nil, fmt.Errorf("sweep: cell [%s]: %s took no effect — a later axis disabled the prefetcher",
+				strings.Join(pc.cell.Labels, ","), pc.declLabel)
+		}
+		cells[i] = pc.cell
+		if !pc.cell.Base {
+			cells[i].Spec = pc.cell.Spec.Renamed(
+				fmt.Sprintf("%s[%s]", base.Name, strings.Join(pc.muts, ",")))
+		}
+	}
+	return cells, nil
+}
+
+// Config describes one sweep.
+type Config struct {
+	// Base is the preset every cell mutates.
+	Base machine.Spec
+	// Axes are the sweep dimensions; their cross-product is the cell grid.
+	// No axes means a single (base) cell.
+	Axes []Axis
+	// Workloads run in every cell.
+	Workloads []run.Workload
+	// Runner executes the batch; nil builds a fresh memoized runner.
+	// Passing a shared runner lets overlapping sweeps reuse each other's
+	// cached cells.
+	Runner *run.Runner
+}
+
+// CellResult is one (cell, workload) measurement with its base-relative
+// deltas.
+type CellResult struct {
+	Cell   Cell
+	Result run.Result
+	// Speedup is how many times faster this cell ran the workload than the
+	// base cell (>1: the mutation helps; exactly 1 for the base cell).
+	Speedup float64
+	// BandwidthVsBase is the cell's achieved bandwidth over the base
+	// cell's, the utilization delta of the §3.3 metric under a shared
+	// mandatory byte count (0 when the workload reports no bandwidth).
+	BandwidthVsBase float64
+}
+
+// Results is the outcome of one sweep.
+type Results struct {
+	Base  machine.Spec
+	Axes  []Axis
+	Cells []Cell
+	// PerCell holds one row per (cell, workload), cells outermost, in
+	// expansion × workload order.
+	PerCell []CellResult
+	// BaseResults holds the base cell's Result per workload, in
+	// Config.Workloads order — the denominator of every delta. Positional
+	// (not name-keyed), so workloads sharing a Name but differing in
+	// config keep their own base.
+	BaseResults []run.Result
+}
+
+// Run expands the sweep and executes every cell × workload as one batch on
+// the (memoized, pooled) runner. The base cell is always measured — it is
+// part of every expansion — and each cell's deltas are computed against it.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("sweep: no workloads")
+	}
+	cells, err := Expand(cfg.Base, cfg.Axes)
+	if err != nil {
+		return nil, err
+	}
+	baseIdx := -1
+	for i, c := range cells {
+		if c.Base {
+			baseIdx = i
+			break
+		}
+	}
+	if baseIdx < 0 {
+		// Every axis omitted the base point; append a reference cell so
+		// deltas remain well-defined. It is not part of the reported grid.
+		cells = append(cells, Cell{Spec: cfg.Base, Base: true})
+		baseIdx = len(cells) - 1
+	}
+	r := cfg.Runner
+	if r == nil {
+		r = run.New(run.Options{})
+	}
+	jobs := make([]run.Job, 0, len(cells)*len(cfg.Workloads))
+	for _, c := range cells {
+		for _, w := range cfg.Workloads {
+			jobs = append(jobs, run.Job{Device: c.Spec, Workload: w})
+		}
+	}
+	results, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep on %s: %w", cfg.Base.Name, err)
+	}
+	res := &Results{
+		Base: cfg.Base, Axes: cfg.Axes,
+		BaseResults: make([]run.Result, len(cfg.Workloads)),
+	}
+	for wi := range cfg.Workloads {
+		res.BaseResults[wi] = results[baseIdx*len(cfg.Workloads)+wi]
+	}
+	reported := cells
+	if baseIdx == len(cells)-1 && !containsBasePoint(cfg.Axes) && len(cfg.Axes) > 0 {
+		reported = cells[:len(cells)-1] // drop the synthetic reference cell
+	}
+	res.Cells = reported
+	for ci, c := range reported {
+		for wi := range cfg.Workloads {
+			got := results[ci*len(cfg.Workloads)+wi]
+			base := res.BaseResults[wi]
+			bwRatio := 0.0
+			if base.Bandwidth > 0 {
+				bwRatio = float64(got.Bandwidth) / float64(base.Bandwidth)
+			}
+			res.PerCell = append(res.PerCell, CellResult{
+				Cell:            c,
+				Result:          got,
+				Speedup:         metrics.Speedup(base.Seconds, got.Seconds),
+				BandwidthVsBase: bwRatio,
+			})
+		}
+	}
+	return res, nil
+}
+
+// containsBasePoint reports whether any expansion cell can be all-base,
+// i.e. every axis carries a base point.
+func containsBasePoint(axes []Axis) bool {
+	for _, ax := range axes {
+		hasBase := false
+		for _, p := range ax.Points {
+			if p.Apply == nil {
+				hasBase = true
+				break
+			}
+		}
+		if !hasBase {
+			return false
+		}
+	}
+	return true
+}
+
+// Table renders the sweep as a report.Table: one axis column per dimension,
+// then the workload and its absolute and base-relative numbers.
+func (r *Results) Table() report.Table {
+	var axisNames []string
+	for _, ax := range r.Axes {
+		axisNames = append(axisNames, ax.Name)
+	}
+	t := report.Table{
+		Title: fmt.Sprintf("Sweep: %s × {%s} (%d cells)",
+			r.Base.Name, strings.Join(axisNames, ", "), len(r.Cells)),
+		Headers: append(append([]string{}, axisNames...),
+			"Workload", "Seconds", "Speedup", "Bandwidth", "BW×base"),
+	}
+	for _, cr := range r.PerCell {
+		row := make([]string, 0, len(t.Headers))
+		for _, lab := range cr.Cell.Labels {
+			_, val, _ := strings.Cut(lab, "=")
+			row = append(row, val)
+		}
+		row = append(row,
+			cr.Result.Workload,
+			fmt.Sprintf("%.6g", cr.Result.Seconds),
+			fmt.Sprintf("%.3f", cr.Speedup),
+			cr.Result.Bandwidth.String(),
+			fmt.Sprintf("%.3f", cr.BandwidthVsBase),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -7,7 +7,11 @@
 // STREAM convention of decimal units (1 GB/s = 1e9 bytes per second).
 package units
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Common byte quantities, in the binary (capacity) sense used for cache and
 // RAM sizes.
@@ -32,6 +36,39 @@ func (b Bytes) String() string {
 	default:
 		return fmt.Sprintf("%d B", v)
 	}
+}
+
+// ParseBytes parses a human-readable byte count — "64", "128KiB", "1.5 MiB",
+// "2GiB" — into bytes. Suffixes are the binary units KiB/MiB/GiB (case-
+// insensitive, optional space, optional trailing "B" alone for plain bytes);
+// fractional values must still resolve to a whole number of bytes. It is the
+// inverse of Bytes.String and the size parser of the sweep axis grammar.
+func ParseBytes(s string) (int64, error) {
+	text := strings.TrimSpace(s)
+	mult := int64(1)
+	lower := strings.ToLower(text)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"gib", GiB}, {"mib", MiB}, {"kib", KiB}, {"b", 1}} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			text = strings.TrimSpace(text[:len(text)-len(u.suffix)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse byte count %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative byte count %q", s)
+	}
+	bytes := v * float64(mult)
+	if bytes != float64(int64(bytes)) {
+		return 0, fmt.Errorf("units: %q is not a whole number of bytes", s)
+	}
+	return int64(bytes), nil
 }
 
 func trimUnit(v float64, unit string) string {

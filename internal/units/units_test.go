@@ -82,3 +82,35 @@ func TestLog2(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"64":       64,
+		"64B":      64,
+		"128KiB":   128 * KiB,
+		"128 KiB":  128 * KiB,
+		"128kib":   128 * KiB,
+		"1MiB":     MiB,
+		"1.5 MiB":  MiB + MiB/2,
+		"2GiB":     2 * GiB,
+		" 32 KiB ": 32 * KiB,
+	}
+	for in, want := range good {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "KiB", "12XB", "1.0000001KiB", "12 34", "-64KiB", "-1"} {
+		if got, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, got)
+		}
+	}
+	// Round-trips with Bytes.String for the sizes sweeps use.
+	for _, v := range []int64{64, 32 * KiB, 128 * KiB, MiB, MiB + MiB/2, GiB} {
+		got, err := ParseBytes(Bytes(v).String())
+		if err != nil || got != v {
+			t.Errorf("round-trip %s = %d, %v; want %d", Bytes(v), got, err, v)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"riscvmem/internal/machine"
 	"riscvmem/internal/run"
 	"riscvmem/internal/sim"
+	"riscvmem/internal/sweep"
 	"riscvmem/internal/units"
 )
 
@@ -142,6 +143,12 @@ type (
 	// MemSummary is the per-level memory-system counter block carried by
 	// Result.Mem and the kernel-specific result types.
 	MemSummary = sim.Summary
+	// Keyed is the opt-in memoization contract: a Workload that also
+	// implements CacheKey() string declares its Result a pure function of
+	// (device parameters, key), letting the Runner cache results across
+	// batches with singleflight dedup. All built-in workload adapters
+	// implement it; custom deterministic workloads should too.
+	Keyed = run.Keyed
 )
 
 // NewRunner builds a Runner.
@@ -181,6 +188,34 @@ func WorkloadByName(name string) (Workload, error) { return run.Lookup(name) }
 
 // RegisteredWorkloads lists registered workload names, sorted.
 func RegisteredWorkloads() []string { return run.Names() }
+
+// Sweep API: declarative device-parameter ablations (internal/sweep). Axes
+// mutate a base Device — L2 present/size, MSHR count, prefetcher
+// distance/ramp, miss overlap, DRAM channels/latency, cache ways/policy —
+// and the axis cross-product runs as one memoized batch, with every cell
+// reporting speedup and bandwidth ratios against the unmutated base cell.
+type (
+	// SweepAxis is one named sweep dimension.
+	SweepAxis = sweep.Axis
+	// SweepConfig describes one sweep: base device, axes, workloads.
+	SweepConfig = sweep.Config
+	// SweepResults is the outcome: per-cell results with base-relative
+	// deltas, and a Table() renderer.
+	SweepResults = sweep.Results
+)
+
+// ParseSweepAxis compiles one "name=v1,v2,..." axis declaration — the same
+// grammar as cmd/sweep's -axis flag (l2=off,128KiB / maxinflight=1,2,4 /
+// preframp=on,off / ...; every axis accepts the literal "base").
+func ParseSweepAxis(s string) (SweepAxis, error) { return sweep.ParseAxis(s) }
+
+// MustParseSweepAxis is ParseSweepAxis but panics on error.
+func MustParseSweepAxis(s string) SweepAxis { return sweep.MustParseAxis(s) }
+
+// RunSweep expands and executes a device-parameter sweep.
+func RunSweep(ctx context.Context, cfg SweepConfig) (*SweepResults, error) {
+	return sweep.Run(ctx, cfg)
+}
 
 // STREAM (§4.1).
 type (

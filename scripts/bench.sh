@@ -2,19 +2,24 @@
 # Record simulator throughput in BENCH_simthroughput.json so the perf
 # trajectory is tracked across PRs. Appends one record per run with the
 # current commit, date, ns/op of the two streaming benchmarks, and the
-# batched-runner throughput (ns per 8-job pooled batch).
+# batched-runner throughput — cold (every job simulates) vs cached (the
+# memoized Runner replays the identical 8-job batch with zero new
+# simulations).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100000000x}"
 RUNNER_BENCHTIME="${RUNNER_BENCHTIME:-30x}"
+CACHED_BENCHTIME="${CACHED_BENCHTIME:-20000x}"
 OUT="BENCH_simthroughput.json"
 
 raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkTouchRangeThroughput$' \
     -benchtime "$BENCHTIME" -count "$COUNT" . | grep ns/op)
 rawrunner=$(go test -run '^$' -bench 'BenchmarkRunnerBatch$' \
     -benchtime "$RUNNER_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
+rawcached=$(go test -run '^$' -bench 'BenchmarkRunnerBatchCached$' \
+    -benchtime "$CACHED_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
 
 median() {
     echo "$2" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
@@ -23,7 +28,8 @@ median() {
 
 legacy=$(median '^BenchmarkSimulatorThroughput' "$raw") \
 trange=$(median '^BenchmarkTouchRangeThroughput' "$raw") \
-runner=$(median '^BenchmarkRunnerBatch' "$rawrunner") \
+runner=$(median '^BenchmarkRunnerBatch(-|$)' "$rawrunner") \
+cached=$(median '^BenchmarkRunnerBatchCached' "$rawcached") \
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
 import datetime
@@ -37,6 +43,7 @@ record = {
     "simulator_throughput_ns_per_op": float(os.environ["legacy"]),
     "touchrange_throughput_ns_per_op": float(os.environ["trange"]),
     "runner_batch_ns_per_op": float(os.environ["runner"]),
+    "runner_batch_cached_ns_per_op": float(os.environ["cached"]),
     "count": int(os.environ["COUNT"]),
 }
 try:
@@ -55,5 +62,6 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
       f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op, "
-      f"runner_batch={record['runner_batch_ns_per_op']} ns/batch -> {out}")
+      f"runner_batch={record['runner_batch_ns_per_op']} ns/batch, "
+      f"runner_batch_cached={record['runner_batch_cached_ns_per_op']} ns/batch -> {out}")
 EOF

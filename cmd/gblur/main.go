@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"riscvmem/internal/kernels/blur"
 	"riscvmem/internal/machine"
@@ -38,19 +37,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gblur:", err)
 		os.Exit(1)
 	}
-	var workloads []run.Workload
 	var variants []blur.Variant
-	for _, v := range blur.Variants() {
-		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
-			variants = append(variants, v)
-			workloads = append(workloads, run.Blur(blur.Config{
-				W: *w, H: *h, C: *c, F: *f, Variant: v, Verify: *verify,
-			}))
+	if *variant == "all" {
+		variants = blur.Variants()
+	} else {
+		v, err := blur.VariantByName(*variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gblur:", err)
+			os.Exit(1)
 		}
+		variants = []blur.Variant{v}
 	}
-	if len(workloads) == 0 {
-		fmt.Fprintf(os.Stderr, "gblur: unknown variant %q\n", *variant)
-		os.Exit(1)
+	// Each variant goes through the data path — a WorkloadSpec materialized
+	// by the kernel's factory — exactly as a simd request would.
+	var workloads []run.Workload
+	for _, v := range variants {
+		wl, err := run.NewWorkload(run.WorkloadSpec{Kernel: "gblur", Params: map[string]string{
+			"variant": v.String(),
+			"w":       strconv.Itoa(*w),
+			"h":       strconv.Itoa(*h),
+			"c":       strconv.Itoa(*c),
+			"f":       strconv.Itoa(*f),
+			"verify":  strconv.FormatBool(*verify),
+		}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gblur:", err)
+			os.Exit(1)
+		}
+		workloads = append(workloads, wl)
 	}
 
 	results, err := run.New(run.Options{}).Run(context.Background(),

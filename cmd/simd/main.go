@@ -1,0 +1,90 @@
+// Command simd is the riscvmem daemon: a long-running HTTP server that
+// executes simulation workloads described as data. It fronts one shared
+// service.Service — a memoized, pooled runner — so identical cells across
+// requests simulate exactly once, with per-request timeouts and a bounded
+// in-flight admission limit.
+//
+// Usage:
+//
+//	simd [-addr :8471] [-maxinflight 4] [-maxjobs 4096] [-parallelism 0]
+//	     [-timeout 60s] [-maxtimeout 5m]
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/devices    device presets
+//	GET  /v1/workloads  kernels, parameter grammar, sweep axes
+//	POST /v1/batch      {"devices":[...], "workloads":[...]} cross-product
+//	POST /v1/sweep      {"device":..., "axes":[...], "workloads":[...]}
+//
+// Workloads may be given as grammar strings ("stream:test=TRIAD,elems=65536",
+// "transpose/Blocking") or as {"kernel":..., "params":{...}} objects:
+//
+//	curl -s localhost:8471/v1/batch -d '{
+//	  "devices": ["MangoPi", "VisionFive"],
+//	  "workloads": ["transpose:variant=Naive,n=512", "stream/TRIAD"]
+//	}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"riscvmem/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8471", "listen address")
+	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing requests admitted; more fail with 429")
+	maxJobs := flag.Int("maxjobs", 4096, "maximum device×workload jobs per request")
+	parallelism := flag.Int("parallelism", 0, "runner worker goroutines; 0 = host CPU count")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request execution timeout; 0 = none")
+	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on request-supplied timeouts; 0 = none")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Parallelism:    *parallelism,
+		MaxInFlight:    *maxInFlight,
+		MaxJobs:        *maxJobs,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("simd listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("simd shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}

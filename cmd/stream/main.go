@@ -13,7 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"strconv"
 
 	"riscvmem/internal/kernels/stream"
 	"riscvmem/internal/machine"
@@ -41,26 +41,38 @@ func main() {
 		devices = []machine.Spec{spec}
 	}
 	var tests []stream.Test
-	for _, t := range stream.Tests() {
-		if *testName == "all" || strings.EqualFold(*testName, t.String()) {
-			tests = append(tests, t)
+	if *testName == "all" {
+		tests = stream.Tests()
+	} else {
+		t, err := stream.TestByName(*testName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
 		}
-	}
-	if len(tests) == 0 {
-		fmt.Fprintf(os.Stderr, "stream: unknown test %q\n", *testName)
-		os.Exit(1)
+		tests = []stream.Test{t}
 	}
 
-	// One job per device × level × test, executed as a single batch.
+	// One job per device × level × test, executed as a single batch. Each
+	// job goes through the data path — a WorkloadSpec materialized by the
+	// kernel's factory — exactly as a simd request would.
 	var jobs []run.Job
 	type label struct{ device, level, test string }
 	var labels []label
 	for _, spec := range devices {
 		for _, lv := range stream.Levels(spec, *scale) {
 			for _, t := range tests {
-				jobs = append(jobs, run.Job{Device: spec, Workload: run.Stream(stream.Config{
-					Test: t, Elems: lv.Elems, Cores: lv.Cores, Reps: *reps, ScaleBy: lv.ScaleBy,
-				})})
+				w, err := run.NewWorkload(run.WorkloadSpec{Kernel: "stream", Params: map[string]string{
+					"test":    t.String(),
+					"elems":   strconv.Itoa(lv.Elems),
+					"cores":   strconv.Itoa(lv.Cores),
+					"reps":    strconv.Itoa(*reps),
+					"scaleby": strconv.Itoa(lv.ScaleBy),
+				}})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "stream:", err)
+					os.Exit(1)
+				}
+				jobs = append(jobs, run.Job{Device: spec, Workload: w})
 				labels = append(labels, label{spec.Name, lv.Name, t.String()})
 			}
 		}

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	sweep -device MangoPi -axis maxinflight=1,2,4,8,16 -axis l2=off,base,1MiB
-//	      [-workloads transpose/Naive,stream/TRIAD] [-n 512] [-elems 65536]
-//	      [-reps 2] [-image 318x253x3] [-filter 19] [-format table|csv|json]
+//	      [-workloads "transpose:variant=Naive,n=512; stream/TRIAD"]
+//	      [-n 512] [-elems 65536] [-reps 2] [-image 318x253x3] [-filter 19]
+//	      [-format table|csv|json]
 //
 // Axis grammar (every axis also accepts the literal value "base", meaning
 // "leave the parameter at the preset's value"):
@@ -24,10 +25,14 @@
 //	preframp=on|off      automatic prefetch-distance ramping
 //	pref=off             disable prefetching
 //
-// Workloads are kernel/variant names: stream/{COPY,SCALE,SUM,TRIAD},
-// transpose/{Naive,Parallel,Blocking,Manual_blocking,Dynamic},
-// gblur/{Naive,Unit-stride,1D_kernels,Memory,Parallel}, or the name of any
-// workload registered through the library's registry.
+// Workloads use the spec grammar — kernel[:key=value,...], the same data
+// form simd requests carry — separated by ';' or whitespace (parameters
+// contain commas): "stream:test=TRIAD,elems=65536; transpose:variant=Naive".
+// The kernel/variant shorthand (stream/TRIAD, transpose/Blocking,
+// gblur/Memory) and registered custom workload names are accepted too, and
+// a shorthand-only list may keep the legacy comma separation. The -n,
+// -elems, -reps, -image and -filter flags fill in any size parameter a spec
+// leaves unset.
 package main
 
 import (
@@ -35,11 +40,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
-	"riscvmem/internal/kernels/blur"
-	"riscvmem/internal/kernels/stream"
-	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/report"
 	"riscvmem/internal/run"
@@ -60,42 +63,52 @@ func (a *axisFlags) Set(s string) error {
 	return nil
 }
 
-// workloadSizes carries the size flags the workload grammar resolves
-// against.
+// workloadSizes carries the size flags that act as spec-parameter defaults.
 type workloadSizes struct {
 	n, elems, reps, filter int
 	imgW, imgH, imgC       int
 }
 
-// parseWorkload resolves one kernel/variant name into a Workload.
-func parseWorkload(name string, sz workloadSizes) (run.Workload, error) {
-	kernel, variant, _ := strings.Cut(name, "/")
+// defaults returns the per-kernel parameters the size flags stand in for
+// when a spec leaves them unset.
+func (sz workloadSizes) defaults(kernel string) map[string]string {
 	switch kernel {
 	case "stream":
-		for _, t := range stream.Tests() {
-			if strings.EqualFold(variant, t.String()) {
-				return run.Stream(stream.Config{Test: t, Elems: sz.elems, Reps: sz.reps}), nil
-			}
-		}
+		return map[string]string{"elems": strconv.Itoa(sz.elems), "reps": strconv.Itoa(sz.reps)}
 	case "transpose":
-		for _, v := range transpose.Variants() {
-			if strings.EqualFold(variant, v.String()) {
-				return run.Transpose(transpose.Config{N: sz.n, Variant: v}), nil
-			}
-		}
+		return map[string]string{"n": strconv.Itoa(sz.n)}
 	case "gblur":
-		for _, v := range blur.Variants() {
-			if strings.EqualFold(variant, v.String()) {
-				return run.Blur(blur.Config{W: sz.imgW, H: sz.imgH, C: sz.imgC,
-					F: sz.filter, Variant: v}), nil
-			}
+		return map[string]string{"w": strconv.Itoa(sz.imgW), "h": strconv.Itoa(sz.imgH),
+			"c": strconv.Itoa(sz.imgC), "f": strconv.Itoa(sz.filter)}
+	}
+	return nil
+}
+
+// splitWorkloads tokenizes the -workloads value. Specs are separated by
+// ';' or whitespace, since parameters contain commas; a list without any
+// ':' has no parameters, so the legacy comma separation of shorthand names
+// ("transpose/Naive,stream/TRIAD") still splits.
+func splitWorkloads(s string) []string {
+	seps := func(r rune) bool { return r == ';' || r == ' ' || r == '\t' }
+	if !strings.Contains(s, ":") {
+		seps = func(r rune) bool { return r == ';' || r == ' ' || r == '\t' || r == ',' }
+	}
+	return strings.FieldsFunc(s, seps)
+}
+
+// parseWorkload resolves one spec string into a Workload, overlaying the
+// size-flag defaults onto parameters the spec does not set.
+func parseWorkload(name string, sz workloadSizes) (run.Workload, error) {
+	spec, err := run.ParseWorkloadSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range sz.defaults(spec.Kernel) {
+		if _, set := spec.Params[k]; !set {
+			spec = spec.With(k, v)
 		}
 	}
-	// Fall back to the process-wide registry for custom workloads.
-	if w, err := run.Lookup(name); err == nil {
-		return w, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q (want stream/<test>, transpose/<variant>, gblur/<variant> or a registered name)", name)
+	return run.NewWorkload(spec)
 }
 
 func main() {
@@ -104,7 +117,7 @@ func main() {
 	flag.Var(&axes, "axis", "sweep axis as name=v1,v2,... (repeatable); axes: "+
 		strings.Join(sweep.AxisNames(), ", "))
 	workloads := flag.String("workloads", "transpose/Naive",
-		"comma-separated kernel/variant workloads to run in every cell")
+		"workload specs (kernel[:key=value,...]) to run in every cell, ';'-separated")
 	n := flag.Int("n", 512, "transpose matrix dimension")
 	elems := flag.Int("elems", 65536, "STREAM per-array element count")
 	reps := flag.Int("reps", 2, "STREAM timed repetitions (best kept)")
@@ -127,12 +140,15 @@ func main() {
 		fail(fmt.Errorf("bad -image %q: want WxHxC", *image))
 	}
 	var ws []run.Workload
-	for _, name := range strings.Split(*workloads, ",") {
-		w, err := parseWorkload(strings.TrimSpace(name), sz)
+	for _, name := range splitWorkloads(*workloads) {
+		w, err := parseWorkload(name, sz)
 		if err != nil {
 			fail(err)
 		}
 		ws = append(ws, w)
+	}
+	if len(ws) == 0 {
+		fail(fmt.Errorf("no workloads given"))
 	}
 
 	res, err := sweep.Run(context.Background(), sweep.Config{

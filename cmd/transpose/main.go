@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
@@ -37,19 +36,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "transpose:", err)
 		os.Exit(1)
 	}
-	var workloads []run.Workload
 	var variants []transpose.Variant
-	for _, v := range transpose.Variants() {
-		if *variant == "all" || strings.EqualFold(*variant, v.String()) {
-			variants = append(variants, v)
-			workloads = append(workloads, run.Transpose(transpose.Config{
-				N: *n, Variant: v, Block: *block, Verify: *verify,
-			}))
+	if *variant == "all" {
+		variants = transpose.Variants()
+	} else {
+		v, err := transpose.VariantByName(*variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "transpose:", err)
+			os.Exit(1)
 		}
+		variants = []transpose.Variant{v}
 	}
-	if len(workloads) == 0 {
-		fmt.Fprintf(os.Stderr, "transpose: unknown variant %q\n", *variant)
-		os.Exit(1)
+	// Each variant goes through the data path — a WorkloadSpec materialized
+	// by the kernel's factory — exactly as a simd request would.
+	var workloads []run.Workload
+	for _, v := range variants {
+		w, err := run.NewWorkload(run.WorkloadSpec{Kernel: "transpose", Params: map[string]string{
+			"variant": v.String(),
+			"n":       strconv.Itoa(*n),
+			"block":   strconv.Itoa(*block),
+			"verify":  strconv.FormatBool(*verify),
+		}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "transpose:", err)
+			os.Exit(1)
+		}
+		workloads = append(workloads, w)
 	}
 
 	results, err := run.New(run.Options{}).Run(context.Background(),

@@ -1,0 +1,132 @@
+// Example client drives the simd service over HTTP: it discovers devices
+// and workloads, posts a batch request (twice, to show the shared memo
+// cache absorbing the repeat), and posts a sweep — everything a remote
+// consumer of the daemon does, expressed with the library's request types.
+//
+// By default it starts an in-process server on a loopback port, so
+//
+//	go run ./examples/client
+//
+// is self-contained; point it at a running daemon with
+//
+//	go run ./cmd/simd &
+//	go run ./examples/client -addr localhost:8471
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"riscvmem"
+)
+
+func main() {
+	addr := flag.String("addr", "", "simd address (host:port); empty starts an in-process server")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// Self-contained mode: serve the same handler cmd/simd uses on a
+		// loopback listener.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := riscvmem.NewService(riscvmem.ServiceOptions{DefaultTimeout: time.Minute})
+		go http.Serve(ln, riscvmem.NewServiceHandler(svc)) //nolint:errcheck // dies with the example
+		base = ln.Addr().String()
+		fmt.Printf("started in-process simd on %s\n\n", base)
+	}
+	url := "http://" + base
+
+	// Discover what the daemon can run.
+	var devices []riscvmem.ServiceDeviceInfo
+	getJSON(url+"/v1/devices", &devices)
+	fmt.Println("devices:")
+	for _, d := range devices {
+		fmt.Printf("  %-14s %s\n", d.Name, d.CPU)
+	}
+	var winfo riscvmem.ServiceWorkloadsInfo
+	getJSON(url+"/v1/workloads", &winfo)
+	fmt.Println("kernels:")
+	for _, k := range winfo.Kernels {
+		fmt.Printf("  %-10s %s\n", k.Kernel, k.Params)
+	}
+
+	// A batch: the paper's shape — workloads × devices — as one request.
+	// Workload specs are data; the grammar string and the struct form are
+	// interchangeable on the wire.
+	batch := riscvmem.BatchRequest{
+		Devices: []string{"MangoPi", "VisionFive"},
+		Workloads: []riscvmem.WorkloadSpec{
+			riscvmem.MustParseWorkloadSpec("stream:test=TRIAD,elems=65536"),
+			riscvmem.MustParseWorkloadSpec("transpose:variant=Blocking,n=512"),
+		},
+	}
+	var resp riscvmem.ServiceResponse
+	postJSON(url+"/v1/batch", batch, &resp)
+	fmt.Println("\nbatch results:")
+	for _, row := range resp.Results {
+		fmt.Printf("  %-20s %-12s %10.6fs  %s\n",
+			row.Workload, row.Device, row.Seconds, row.Bandwidth)
+	}
+	fmt.Printf("  (%d new simulations)\n", resp.Cache.RequestMisses)
+
+	// The same request again: every cell is served from the daemon's memo
+	// cache — zero new simulations.
+	postJSON(url+"/v1/batch", batch, &resp)
+	fmt.Printf("repeat of the same batch: %d new simulations, %d cache hits\n",
+		resp.Cache.RequestMisses, resp.Cache.RequestHits)
+
+	// A sweep: "what if the Mango Pi had an L2?" as one request.
+	sweepReq := riscvmem.SweepRequest{
+		Device: "MangoPi",
+		Axes:   []string{"l2=base,128KiB,1MiB"},
+		Workloads: []riscvmem.WorkloadSpec{
+			riscvmem.MustParseWorkloadSpec("transpose:variant=Naive,n=512"),
+		},
+	}
+	postJSON(url+"/v1/sweep", sweepReq, &resp)
+	fmt.Println("\nsweep results (transpose/Naive on MangoPi):")
+	for _, row := range resp.Results {
+		fmt.Printf("  %-16v %10.6fs  speedup %.3f×\n", row.Cell, row.Seconds, row.Speedup)
+	}
+}
+
+func getJSON(url string, dst any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func postJSON(url string, req, dst any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+}

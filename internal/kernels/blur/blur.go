@@ -19,6 +19,7 @@ package blur
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"riscvmem/internal/machine"
 	"riscvmem/internal/sim"
@@ -38,6 +39,21 @@ const (
 
 // Variants lists all five in figure order.
 func Variants() []Variant { return []Variant{Naive, UnitStride, OneD, Memory, Parallel} }
+
+// VariantByName resolves a variant from its figure label,
+// case-insensitively; the error for an unknown name lists the valid ones.
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if strings.EqualFold(name, v.String()) {
+			return v, nil
+		}
+	}
+	valid := make([]string, 0, len(Variants()))
+	for _, v := range Variants() {
+		valid = append(valid, v.String())
+	}
+	return 0, fmt.Errorf("blur: unknown variant %q (valid: %s)", name, strings.Join(valid, ", "))
+}
 
 // String returns the paper's label.
 func (v Variant) String() string {

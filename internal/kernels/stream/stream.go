@@ -18,6 +18,7 @@ package stream
 
 import (
 	"fmt"
+	"strings"
 
 	"riscvmem/internal/machine"
 	"riscvmem/internal/sim"
@@ -37,6 +38,21 @@ const (
 
 // Tests lists all four in the order STREAM reports them.
 func Tests() []Test { return []Test{Copy, Scale, Sum, Triad} }
+
+// TestByName resolves a STREAM test from its name, case-insensitively; the
+// error for an unknown name lists the valid ones.
+func TestByName(name string) (Test, error) {
+	for _, t := range Tests() {
+		if strings.EqualFold(name, t.String()) {
+			return t, nil
+		}
+	}
+	valid := make([]string, 0, len(Tests()))
+	for _, t := range Tests() {
+		valid = append(valid, t.String())
+	}
+	return 0, fmt.Errorf("stream: unknown test %q (valid: %s)", name, strings.Join(valid, ", "))
+}
 
 // String returns the STREAM name of the test.
 func (t Test) String() string {
@@ -87,6 +103,24 @@ type Config struct {
 	// sequential per-core results by the core count for private levels).
 	// 0 → 1.
 	ScaleBy int
+}
+
+// Normalized returns the config with the documented defaults applied
+// (Reps 0→3, Cores 0→1, ScaleBy 0→1) — the exact clamping RunOn performs
+// before measuring. The canonical spec encoding (run.StreamSpec) keys the
+// memo cache on the normalized form, so a config with an unset field and
+// one with the default set explicitly share a single cache identity.
+func (c Config) Normalized() Config {
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.ScaleBy <= 0 {
+		c.ScaleBy = 1
+	}
+	return c
 }
 
 // Measurement is the outcome of one Run.
@@ -145,15 +179,7 @@ func RunOn(m *sim.Machine, cfg Config) (Measurement, error) {
 	if cfg.Elems <= 0 {
 		return Measurement{}, fmt.Errorf("stream: non-positive array size %d", cfg.Elems)
 	}
-	if cfg.Reps <= 0 {
-		cfg.Reps = 3
-	}
-	if cfg.Cores <= 0 {
-		cfg.Cores = 1
-	}
-	if cfg.ScaleBy <= 0 {
-		cfg.ScaleBy = 1
-	}
+	cfg = cfg.Normalized()
 	spec := m.Spec()
 	n := cfg.Elems
 	a, err := m.NewF64(n)

@@ -10,6 +10,7 @@ package transpose
 
 import (
 	"fmt"
+	"strings"
 
 	"riscvmem/internal/machine"
 	"riscvmem/internal/sim"
@@ -31,6 +32,23 @@ const (
 // (CacheOblivious is an extension and not part of Fig. 2).
 func Variants() []Variant {
 	return []Variant{Naive, Parallel, Blocking, ManualBlocking, Dynamic}
+}
+
+// VariantByName resolves a variant from its figure label,
+// case-insensitively (including Cache_oblivious); the error for an unknown
+// name lists the valid ones.
+func VariantByName(name string) (Variant, error) {
+	all := append(Variants(), CacheOblivious)
+	for _, v := range all {
+		if strings.EqualFold(name, v.String()) {
+			return v, nil
+		}
+	}
+	valid := make([]string, 0, len(all))
+	for _, v := range all {
+		valid = append(valid, v.String())
+	}
+	return 0, fmt.Errorf("transpose: unknown variant %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 // String returns the paper's label for the variant.

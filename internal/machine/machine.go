@@ -322,18 +322,23 @@ func All() []Spec {
 	return []Spec{XeonServer(), RaspberryPi4(), VisionFive(), MangoPiD1()}
 }
 
-// ByName returns the preset with the given Name. Names are case-sensitive;
-// the error for an unknown name lists the valid ones.
-func ByName(name string) (Spec, error) {
+// Names returns the preset names in presentation order.
+func Names() []string {
 	all := All()
-	for _, s := range all {
-		if s.Name == name {
-			return s, nil
-		}
-	}
 	names := make([]string, len(all))
 	for i, s := range all {
 		names[i] = s.Name
 	}
-	return Spec{}, fmt.Errorf("machine: unknown device %q (valid: %s)", name, strings.Join(names, ", "))
+	return names
+}
+
+// ByName returns the preset with the given Name. Names are case-sensitive;
+// the error for an unknown name lists the valid ones.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("machine: unknown device %q (valid: %s)", name, strings.Join(Names(), ", "))
 }

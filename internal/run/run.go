@@ -41,24 +41,24 @@ import (
 type Result struct {
 	// Workload and Device identify the run (filled by the Runner when the
 	// workload leaves them empty).
-	Workload string
-	Device   string
+	Workload string `json:"workload"`
+	Device   string `json:"device"`
 	// Cycles is the simulated wall time of the measured region in core
 	// cycles; Seconds is the same at the device's clock rate.
-	Cycles  float64
-	Seconds float64
+	Cycles  float64 `json:"cycles"`
+	Seconds float64 `json:"seconds"`
 	// Bytes is the kernel's logical (mandatory) data movement — the
 	// numerator of the paper's §3.3 utilization metric. Zero when the
 	// workload has no natural byte count.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 	// Bandwidth is the logical bandwidth achieved: for STREAM the
 	// benchmark's best (scaled) figure, otherwise Bytes over Seconds.
-	Bandwidth units.BytesPerSec
+	Bandwidth units.BytesPerSec `json:"bandwidth"`
 	// Mem holds the machine's per-level memory-system counters for the run
 	// (L1/L2/L3 hits and misses, TLB activity, DRAM traffic). Workloads
 	// that leave it empty get it filled by the Runner from the machine's
 	// counters after the run.
-	Mem sim.Summary
+	Mem sim.Summary `json:"mem"`
 }
 
 // SpeedupOver returns how many times faster r is than base (the paper's
@@ -93,11 +93,14 @@ type Workload interface {
 // simulate exactly once (bit-identical by construction: the cached value IS
 // the first run's Result).
 //
-// The key must cover every configuration field that can change the outcome —
-// deriving it from the full config struct (fmt.Sprintf("%+v", cfg), as the
-// built-in stream/transpose/blur adapters do) is the safe default, since new
-// fields then join the key automatically. Workloads with side effects or
-// host-dependent results must not implement Keyed.
+// The key must cover every configuration field that can change the outcome.
+// The built-in stream/transpose/blur adapters derive theirs from the
+// kernel's canonical WorkloadSpec encoding (see StreamSpec et al.): an
+// order-stable rendered string whose exact values are pinned by golden
+// tests, so the identity survives struct-field reordering and never
+// stringifies pointers by address the way a fmt "%+v" key would. Custom
+// workloads should likewise name every field explicitly. Workloads with
+// side effects or host-dependent results must not implement Keyed.
 type Keyed interface {
 	CacheKey() string
 }

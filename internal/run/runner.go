@@ -248,10 +248,20 @@ func runWorkload(ctx context.Context, w Workload, m *sim.Machine) (res Result, p
 // makes the remaining jobs fail with the context's error — reported as one
 // collapsed error carrying the skipped-job count, not one line per
 // remaining job (a cancelled 10k-job batch is 10k identical errors
-// otherwise). Per-job errors stay individually visible through OnProgress.
+// otherwise). Per-job errors stay individually visible through OnProgress
+// and through RunAll.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
-	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
+	results, errs := r.RunAll(ctx, jobs)
+	return results, joinBatchErrors(errs)
+}
+
+// RunAll is Run with per-job error visibility: errs[i] is nil exactly when
+// results[i] is valid. Transports that report job outcomes individually
+// (the service layer) use this; Run wraps it with the joined-error
+// convention for in-process callers.
+func (r *Runner) RunAll(ctx context.Context, jobs []Job) (results []Result, errs []error) {
+	results = make([]Result, len(jobs))
+	errs = make([]error, len(jobs))
 
 	workers := r.opt.Parallelism
 	if workers <= 0 {
@@ -300,7 +310,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		close(idx)
 		wg.Wait()
 	}
-	return results, joinBatchErrors(errs)
+	return results, errs
 }
 
 // joinBatchErrors joins per-job errors in job order, collapsing the

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/run"
+)
+
+// BenchmarkServiceBatch measures warm request throughput through the full
+// Service layer: one op is an 8-job STREAM COPY batch (the same shape as
+// BenchmarkRunnerBatchCached one layer down) — admission, device/spec
+// resolution, cross-product, cache-served execution, response assembly.
+// The Service-over-Runner overhead is the difference between the two.
+// scripts/bench.sh records the median as service_request_ns_per_op.
+func BenchmarkServiceBatch(b *testing.B) {
+	specs := make([]run.WorkloadSpec, 8)
+	for i := range specs {
+		specs[i] = run.MustParseWorkloadSpec("stream:test=COPY,elems=4096,reps=1")
+	}
+	svc := New(Options{Parallelism: 1})
+	req := BatchRequest{Devices: []string{"MangoPi"}, Workloads: specs}
+	ctx := context.Background()
+	if _, err := svc.Batch(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Batch(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Errors) > 0 {
+			b.Fatal(resp.Errors)
+		}
+	}
+	b.StopTimer()
+	if _, misses := svc.Runner().CacheStats(); misses != 1 {
+		b.Fatalf("warm benchmark simulated %d times, want 1", misses)
+	}
+}

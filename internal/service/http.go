@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; a batch request is a few KB even at
+// the job limit, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// NewHandler fronts a Service with HTTP — the simd wire protocol:
+//
+//	GET  /healthz       liveness: {"status":"ok"}
+//	GET  /v1/devices    device presets
+//	GET  /v1/workloads  kernels, params, registered workloads, sweep axes
+//	POST /v1/batch      BatchRequest → Response
+//	POST /v1/sweep      SweepRequest → Response
+//
+// Request and response bodies are JSON. Errors are {"error": "..."} with
+// 400 for malformed or unresolvable requests, 429 when the service's
+// admission limit is reached, 504 when the request's own deadline expired,
+// and 500 when a validated sweep failed during execution (batch execution
+// failures are per-row partial results, not errors). The handler is
+// stateless; all shared
+// state (machine pool, memo cache, admission slots) lives in the Service,
+// so multiple handlers (or transports) can front one Service.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Devices())
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Workloads())
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Batch(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Sweep(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// readJSON decodes the request body, rejecting trailing garbage and
+// unknown fields so typos ("workload" for "workloads") fail loudly.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	if dec.More() {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": "bad request body: trailing data after JSON value"})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var exec *ExecutionError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.As(err, &exec):
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is gone; nothing left to report to
+}

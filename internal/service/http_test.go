@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPEndpoints drives the full wire protocol through a live listener:
+// health, listings, batch (both workload JSON forms), sweep, and the error
+// statuses.
+func TestHTTPEndpoints(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Health.
+	code, body := get("/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	// Listings.
+	code, body = get("/v1/devices")
+	if code != http.StatusOK {
+		t.Fatalf("devices: %d %s", code, body)
+	}
+	var devs []DeviceInfo
+	if err := json.Unmarshal(body, &devs); err != nil || len(devs) != 4 {
+		t.Fatalf("devices payload: %v %s", err, body)
+	}
+	code, body = get("/v1/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("workloads: %d %s", code, body)
+	}
+	var winfo WorkloadsInfo
+	if err := json.Unmarshal(body, &winfo); err != nil || len(winfo.Kernels) < 3 {
+		t.Fatalf("workloads payload: %v %s", err, body)
+	}
+
+	// Batch, string and object workload forms mixed.
+	code, body = post("/v1/batch", `{
+		"devices": ["MangoPi"],
+		"workloads": [
+			"stream:test=TRIAD,elems=1024,reps=1",
+			{"kernel": "transpose", "params": {"variant": "Naive", "n": "64"}}
+		]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("batch payload: %v %s", err, body)
+	}
+	if len(resp.Results) != 2 || resp.Results[0].Seconds <= 0 || resp.Results[1].Seconds <= 0 {
+		t.Fatalf("batch results: %+v", resp.Results)
+	}
+	if resp.Results[0].Workload != "stream/TRIAD" || resp.Results[1].Workload != "transpose/Naive" {
+		t.Errorf("batch row identities: %q, %q", resp.Results[0].Workload, resp.Results[1].Workload)
+	}
+
+	// Sweep.
+	code, body = post("/v1/sweep", `{
+		"device": "MangoPi",
+		"axes": ["l2=base,128KiB"],
+		"workloads": ["transpose:variant=Naive,n=64"]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", code, body)
+	}
+	var sresp Response
+	if err := json.Unmarshal(body, &sresp); err != nil {
+		t.Fatalf("sweep payload: %v %s", err, body)
+	}
+	if len(sresp.Results) != 2 {
+		t.Fatalf("sweep rows: %+v", sresp.Results)
+	}
+	for _, row := range sresp.Results {
+		if len(row.Cell) != 1 || row.Speedup <= 0 {
+			t.Errorf("sweep row missing cell/deltas: %+v", row)
+		}
+	}
+
+	// Errors: malformed JSON, unknown field, unknown device/kernel → 400
+	// with an "error" body.
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/batch", `{`},
+		{"/v1/batch", `{"wrkloads": []}`},
+		{"/v1/batch", `{"devices": ["Atari"], "workloads": ["stream/TRIAD"]}`},
+		{"/v1/batch", `{"workloads": ["warp:speed=9"]}`},
+		{"/v1/sweep", `{"device": "MangoPi", "axes": ["warp=9"], "workloads": ["stream/TRIAD"]}`},
+	} {
+		code, body = post(tc.path, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400 (%s)", tc.path, tc.body, code, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("POST %s error body: %s", tc.path, body)
+		}
+	}
+
+	// Method guard: GET on a POST route is a 405.
+	if resp, err := http.Get(ts.URL + "/v1/batch"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/batch: %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPSweepExecutionFailure maps a validated sweep that fails during
+// execution to 500 — not 400, which would mislead the client into
+// "fixing" a correct request. (Batch handles the same failure class as a
+// 200 partial-success row.)
+func TestHTTPSweepExecutionFailure(t *testing.T) {
+	registerFailing()
+	svc := New(Options{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"device":"MangoPi","axes":["maxinflight=base,2"],"workloads":["svc-test-fail"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("sweep execution failure: %d %s, want 500", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPOverload maps ErrOverloaded to 429.
+func TestHTTPOverload(t *testing.T) {
+	svc := New(Options{MaxInFlight: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	release, err := svc.admit() // occupy the only slot directly
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"devices":["MangoPi"],"workloads":["stream:test=COPY,elems=1024,reps=1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("overloaded POST: %d %s, want 429", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/run"
+)
+
+// oracleSpecs is the full kernel cross-product the oracle pins: every
+// built-in kernel in every variant, at test-sized configurations.
+func oracleSpecs() []run.WorkloadSpec {
+	specStrs := []string{
+		"stream:test=COPY,elems=4096,reps=1",
+		"stream:test=SCALE,elems=4096,reps=1",
+		"stream:test=SUM,elems=4096,reps=1",
+		"stream:test=TRIAD,elems=4096,reps=1",
+		"transpose:variant=Naive,n=128",
+		"transpose:variant=Parallel,n=128",
+		"transpose:variant=Blocking,n=128",
+		"transpose:variant=Manual_blocking,n=128",
+		"transpose:variant=Dynamic,n=128",
+		"gblur:variant=Naive,w=64,h=48,c=3,f=5",
+		"gblur:variant=Unit-stride,w=64,h=48,c=3,f=5",
+		"gblur:variant=1D_kernels,w=64,h=48,c=3,f=5",
+		"gblur:variant=Memory,w=64,h=48,c=3,f=5",
+		"gblur:variant=Parallel,w=64,h=48,c=3,f=5",
+	}
+	specs := make([]run.WorkloadSpec, len(specStrs))
+	for i, s := range specStrs {
+		specs[i] = run.MustParseWorkloadSpec(s)
+	}
+	return specs
+}
+
+// TestServiceOracle pins Service-path results bit-identical to direct
+// Runner-path results over the full kernel × device cross-product, and
+// asserts a repeated (warm) request is served entirely from the memo cache
+// — zero new simulations.
+func TestServiceOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross-product oracle")
+	}
+	specs := oracleSpecs()
+	devices := machine.All()
+	deviceNames := make([]string, len(devices))
+	for i, d := range devices {
+		deviceNames[i] = d.Name
+	}
+
+	// Direct Runner path: fresh runner, same cross-product shape
+	// (devices outermost), caching disabled so every job simulates.
+	workloads := make([]run.Workload, len(specs))
+	for i, spec := range specs {
+		w, err := run.NewWorkload(spec)
+		if err != nil {
+			t.Fatalf("NewWorkload(%s): %v", spec, err)
+		}
+		workloads[i] = w
+	}
+	direct, err := run.New(run.Options{DisableCache: true}).
+		Run(context.Background(), run.Cross(devices, workloads))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Service path.
+	svc := New(Options{})
+	resp, err := svc.Batch(context.Background(), BatchRequest{
+		Devices: deviceNames, Workloads: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Errors) > 0 {
+		t.Fatalf("service batch reported errors: %v", resp.Errors)
+	}
+	if len(resp.Results) != len(direct) {
+		t.Fatalf("service returned %d rows, direct %d", len(resp.Results), len(direct))
+	}
+	for i, row := range resp.Results {
+		if row.Error != "" {
+			t.Fatalf("row %d: error %q", i, row.Error)
+		}
+		if row.Result != direct[i] {
+			t.Errorf("row %d (%s on %s): service %+v != direct %+v",
+				i, row.Result.Workload, row.Result.Device, row.Result, direct[i])
+		}
+	}
+	if resp.Cache.RequestMisses != uint64(len(direct)) {
+		t.Errorf("cold request: %d new simulations, want %d", resp.Cache.RequestMisses, len(direct))
+	}
+
+	// Warm repeat: same request, zero new simulations, identical rows.
+	warm, err := svc.Batch(context.Background(), BatchRequest{
+		Devices: deviceNames, Workloads: specs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.RequestMisses != 0 {
+		t.Errorf("warm request caused %d new simulations, want 0", warm.Cache.RequestMisses)
+	}
+	if warm.Cache.RequestHits != uint64(len(direct)) {
+		t.Errorf("warm request: %d cache hits, want %d", warm.Cache.RequestHits, len(direct))
+	}
+	for i := range warm.Results {
+		if warm.Results[i].Result != direct[i] {
+			t.Errorf("warm row %d: %+v != direct %+v", i, warm.Results[i].Result, direct[i])
+		}
+	}
+}
+
+// TestServiceSweepOracle pins the Sweep path bit-identical to a direct
+// sweep.Run — and its base cell bit-identical to the direct preset run.
+func TestServiceSweepOracle(t *testing.T) {
+	svc := New(Options{})
+	req := SweepRequest{
+		Device:    "MangoPi",
+		Axes:      []string{"l2=base,128KiB", "maxinflight=base,2"},
+		Workloads: []run.WorkloadSpec{run.MustParseWorkloadSpec("transpose:variant=Naive,n=128")},
+	}
+	resp, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("sweep returned %d rows, want 4", len(resp.Results))
+	}
+
+	// Direct preset run for the base cell.
+	w, err := run.NewWorkload(req.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBase, err := run.New(run.Options{DisableCache: true}).
+		RunOne(context.Background(), machine.MangoPiD1(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundBase := false
+	for _, row := range resp.Results {
+		isBase := true
+		for _, lab := range row.Cell {
+			if lab != "l2=base" && lab != "maxinflight=base" {
+				isBase = false
+			}
+		}
+		if !isBase {
+			continue
+		}
+		foundBase = true
+		if row.Result != directBase {
+			t.Errorf("base cell %+v != direct %+v", row.Result, directBase)
+		}
+		if row.Speedup != 1 {
+			t.Errorf("base cell speedup = %v, want 1", row.Speedup)
+		}
+	}
+	if !foundBase {
+		t.Error("no all-base cell in sweep response")
+	}
+}

@@ -1,0 +1,404 @@
+// Package service is the transport-agnostic request surface over the
+// Workload/Runner and Sweep layers: JSON-serializable requests in, JSON-
+// serializable responses out, with nothing about Go closures or internal
+// types on the wire.
+//
+// A Service wraps one memoized, pooled run.Runner shared by every request —
+// so identical cells across requests simulate exactly once — and adds the
+// two things a long-running daemon needs that a library call does not:
+// per-request timeouts and a bounded in-flight admission limit (requests
+// beyond the bound fail fast with ErrOverloaded instead of queueing without
+// limit). cmd/simd fronts a Service with HTTP (see NewHandler); other
+// transports (RPC, queues, tests) call Batch/Sweep directly with the same
+// request values.
+//
+// Results served through a Service are bit-identical to direct Runner calls
+// with the same configuration — the facade adds admission and encoding, not
+// execution semantics. The package's oracle test pins this over the full
+// kernel × device cross-product.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"riscvmem/internal/machine"
+	"riscvmem/internal/run"
+	"riscvmem/internal/sweep"
+)
+
+// ErrOverloaded is returned when a request arrives while MaxInFlight
+// requests are already executing. Transports should map it to their
+// "try again later" signal (HTTP 429).
+var ErrOverloaded = errors.New("service: too many requests in flight")
+
+// ExecutionError marks a failure that occurred while running an already
+// validated request — the sweep path aborts wholesale on any job error
+// (the cells' base-relative deltas would be meaningless) — so transports
+// can report it as a server-side failure (HTTP 500) rather than a bad
+// request. Batch requests never produce one: their job failures are
+// per-row partial results.
+type ExecutionError struct{ Err error }
+
+func (e *ExecutionError) Error() string { return e.Err.Error() }
+func (e *ExecutionError) Unwrap() error { return e.Err }
+
+// Options configures a Service.
+type Options struct {
+	// Runner executes every request's jobs; nil builds a fresh memoized
+	// runner. Passing one lets a Service share its cache with in-process
+	// callers (e.g. a suite warming the cache the daemon then serves from).
+	Runner *run.Runner
+	// Parallelism is forwarded to the Runner built when Runner is nil;
+	// 0 defaults to the host CPU count.
+	Parallelism int
+	// MaxInFlight bounds concurrently executing requests; further requests
+	// fail immediately with ErrOverloaded. 0 → 4.
+	MaxInFlight int
+	// MaxJobs bounds the device × workload (or cell × workload) size of a
+	// single request. 0 → 4096.
+	MaxJobs int
+	// DefaultTimeout applies to requests that carry no timeout of their
+	// own; 0 means no default timeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts (and the default); 0 means
+	// no cap.
+	MaxTimeout time.Duration
+}
+
+// Service is the shared execution facade. Safe for concurrent use.
+type Service struct {
+	runner *run.Runner
+	opt    Options
+	sem    chan struct{}
+}
+
+// New builds a Service.
+func New(opt Options) *Service {
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 4
+	}
+	if opt.MaxJobs <= 0 {
+		opt.MaxJobs = 4096
+	}
+	r := opt.Runner
+	if r == nil {
+		r = run.New(run.Options{Parallelism: opt.Parallelism})
+	}
+	return &Service{runner: r, opt: opt, sem: make(chan struct{}, opt.MaxInFlight)}
+}
+
+// Runner exposes the service's underlying runner (for sharing its memo
+// cache with in-process callers).
+func (s *Service) Runner() *run.Runner { return s.runner }
+
+// RequestOptions are the per-request knobs every request type carries.
+type RequestOptions struct {
+	// TimeoutMS bounds the request's execution in milliseconds; 0 falls
+	// back to the service default. Values above the service cap are
+	// clamped, not rejected.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest asks for a device × workload cross-product, devices
+// outermost — the paper's evaluation shape as data. An empty Devices list
+// means all presets.
+type BatchRequest struct {
+	Devices   []string           `json:"devices,omitempty"`
+	Workloads []run.WorkloadSpec `json:"workloads"`
+	Options   RequestOptions     `json:"options,omitempty"`
+}
+
+// SweepRequest asks for a device-parameter ablation: axes in the sweep
+// grammar ("l2=off,base,1MiB") mutate the base device, and every cell runs
+// every workload.
+type SweepRequest struct {
+	Device    string             `json:"device"`
+	Axes      []string           `json:"axes,omitempty"`
+	Workloads []run.WorkloadSpec `json:"workloads"`
+	Options   RequestOptions     `json:"options,omitempty"`
+}
+
+// CacheStats reports the shared memo cache around one request. Hits/Misses
+// are service-lifetime totals; RequestHits/RequestMisses are the deltas
+// observed across this request — RequestMisses is the number of new
+// simulations the request caused (0 for a fully warm request). Deltas are
+// exact for serial use and approximate when requests overlap (concurrent
+// requests' work is indistinguishable in the shared counters).
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	RequestHits   uint64 `json:"request_hits"`
+	RequestMisses uint64 `json:"request_misses"`
+}
+
+// ResultRow is one job outcome: the unified run.Result plus, for sweep
+// requests, the cell's axis labels and base-relative deltas. Error is set
+// (and the measurement zero) when the job failed.
+type ResultRow struct {
+	run.Result
+	// Cell holds one "axis=value" label per sweep axis, in axis order;
+	// empty for batch rows.
+	Cell []string `json:"cell,omitempty"`
+	// Speedup and BandwidthVsBase compare a sweep cell against the
+	// unmutated base cell running the same workload.
+	Speedup         float64 `json:"speedup,omitempty"`
+	BandwidthVsBase float64 `json:"bandwidth_vs_base,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// Response is the outcome of one Batch or Sweep request. Results are in
+// request order (devices outermost for batches, cells outermost for
+// sweeps). Errors collects the failing rows' messages; a response with a
+// non-empty Results and non-empty Errors is a partial success.
+type Response struct {
+	Results []ResultRow `json:"results"`
+	Cache   CacheStats  `json:"cache"`
+	Errors  []string    `json:"errors,omitempty"`
+}
+
+// DeviceInfo is one device preset as the listing endpoints report it.
+type DeviceInfo struct {
+	Name              string  `json:"name"`
+	CPU               string  `json:"cpu"`
+	ISA               string  `json:"isa"`
+	Cores             int     `json:"cores"`
+	FreqGHz           float64 `json:"freq_ghz"`
+	RAMBytes          int64   `json:"ram_bytes"`
+	PeakDRAMBandwidth string  `json:"peak_dram_bandwidth"`
+}
+
+// WorkloadsInfo is the discovery document: spec-buildable kernels with
+// their parameter docs, plus registered custom workload names, the spec
+// grammar, and the sweep axis names.
+type WorkloadsInfo struct {
+	Kernels    []run.KernelInfo `json:"kernels"`
+	Registered []string         `json:"registered,omitempty"`
+	Grammar    string           `json:"grammar"`
+	SweepAxes  []string         `json:"sweep_axes"`
+}
+
+// Devices lists the device presets.
+func (s *Service) Devices() []DeviceInfo {
+	all := machine.All()
+	out := make([]DeviceInfo, len(all))
+	for i, d := range all {
+		out[i] = DeviceInfo{
+			Name: d.Name, CPU: d.CPU, ISA: d.ISA,
+			Cores: d.Cores, FreqGHz: d.FreqGHz, RAMBytes: d.RAMBytes,
+			PeakDRAMBandwidth: d.PeakDRAMBandwidth().String(),
+		}
+	}
+	return out
+}
+
+// Workloads describes everything a request can name.
+func (s *Service) Workloads() WorkloadsInfo {
+	return WorkloadsInfo{
+		Kernels:    run.Kernels(),
+		Registered: run.Names(),
+		Grammar:    run.SpecGrammar,
+		SweepAxes:  sweep.AxisNames(),
+	}
+}
+
+// admit reserves an execution slot or fails fast.
+func (s *Service) admit() (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+		return nil, ErrOverloaded
+	}
+}
+
+// timeoutCtx applies the request's effective timeout: the request value
+// when given, else the service default, clamped by the service cap. With
+// neither a request value nor a default, the request is unbounded — the
+// cap limits configured timeouts, it does not invent one.
+func (s *Service) timeoutCtx(ctx context.Context, opt RequestOptions) (context.Context, context.CancelFunc) {
+	d := s.opt.DefaultTimeout
+	if opt.TimeoutMS > 0 {
+		d = time.Duration(opt.TimeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if s.opt.MaxTimeout > 0 && d > s.opt.MaxTimeout {
+		d = s.opt.MaxTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// resolveWorkloads materializes every spec of a request.
+func resolveWorkloads(specs []run.WorkloadSpec) ([]run.Workload, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("service: request names no workloads")
+	}
+	out := make([]run.Workload, len(specs))
+	for i, spec := range specs {
+		w, err := run.NewWorkload(spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Batch executes a device × workload cross-product. Request-shaped
+// problems — unknown devices or kernels, malformed specs, no workloads, an
+// oversized cross-product, admission overload — fail the call; per-job
+// simulation failures land in the Response rows instead, so one bad cell
+// does not void the rest of the request.
+func (s *Service) Batch(ctx context.Context, req BatchRequest) (*Response, error) {
+	devices, err := resolveDevices(req.Devices)
+	if err != nil {
+		return nil, err
+	}
+	workloads, err := resolveWorkloads(req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(devices) * len(workloads); n > s.opt.MaxJobs {
+		return nil, fmt.Errorf("service: request is %d jobs, limit %d", n, s.opt.MaxJobs)
+	}
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := s.timeoutCtx(ctx, req.Options)
+	defer cancel()
+
+	jobs := run.Cross(devices, workloads)
+	hits0, misses0 := s.runner.CacheStats()
+	results, errs := s.runner.RunAll(ctx, jobs)
+	resp := &Response{Results: make([]ResultRow, len(jobs))}
+	// Jobs skipped wholesale by a dead context (bare sentinel errors, the
+	// runner's skip signature) collapse into one Errors entry with a count
+	// — a timed-out 4096-job batch must not emit 4096 identical strings.
+	// Each skipped row still carries its own error field.
+	skipped, ctxErr := 0, error(nil)
+	for i := range jobs {
+		row := ResultRow{Result: results[i]}
+		if errs[i] != nil {
+			row.Error = errs[i].Error()
+			// Identify the failed cell even without a Result.
+			row.Result.Workload = jobs[i].Workload.Name()
+			row.Result.Device = jobs[i].Device.Name
+			if errs[i] == context.Canceled || errs[i] == context.DeadlineExceeded {
+				skipped++
+				ctxErr = errs[i]
+			} else {
+				resp.Errors = append(resp.Errors, fmt.Sprintf("%s on %s: %v",
+					jobs[i].Workload.Name(), jobs[i].Device.Name, errs[i]))
+			}
+		}
+		resp.Results[i] = row
+	}
+	switch {
+	case skipped == 1:
+		resp.Errors = append(resp.Errors, fmt.Sprintf("1 job skipped: %v", ctxErr))
+	case skipped > 1:
+		resp.Errors = append(resp.Errors, fmt.Sprintf("%d jobs skipped: %v", skipped, ctxErr))
+	}
+	resp.Cache = s.cacheDelta(hits0, misses0)
+	return resp, nil
+}
+
+// Sweep executes a device-parameter ablation. The axis grammar and
+// semantics are exactly cmd/sweep's; every cell row carries its axis
+// labels and base-relative deltas.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*Response, error) {
+	if req.Device == "" {
+		return nil, errors.New("service: sweep request names no device")
+	}
+	base, err := machine.ByName(req.Device)
+	if err != nil {
+		return nil, err
+	}
+	axes, err := sweep.ParseAxes(req.Axes)
+	if err != nil {
+		return nil, err
+	}
+	workloads, err := resolveWorkloads(req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the cross-product from the axis point counts BEFORE expanding:
+	// Expand materializes every cell as a deep-cloned Spec, so an oversized
+	// request must be rejected before that allocation, not after.
+	cellCount := 1
+	for _, ax := range axes {
+		if len(ax.Points) == 0 {
+			continue // Expand reports the precise error
+		}
+		cellCount *= len(ax.Points)
+		if cellCount > s.opt.MaxJobs {
+			return nil, fmt.Errorf("service: sweep is at least %d cells, limit %d jobs", cellCount, s.opt.MaxJobs)
+		}
+	}
+	if n := cellCount * len(workloads); n > s.opt.MaxJobs {
+		return nil, fmt.Errorf("service: sweep is %d jobs, limit %d", n, s.opt.MaxJobs)
+	}
+	if _, err := sweep.Expand(base, axes); err != nil {
+		return nil, err
+	}
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := s.timeoutCtx(ctx, req.Options)
+	defer cancel()
+
+	hits0, misses0 := s.runner.CacheStats()
+	res, err := sweep.Run(ctx, sweep.Config{
+		Base: base, Axes: axes, Workloads: workloads, Runner: s.runner,
+	})
+	if err != nil {
+		// The request validated (device, axes and workloads all resolved;
+		// the expansion above succeeded), so this is an execution failure.
+		return nil, &ExecutionError{Err: err}
+	}
+	resp := &Response{Results: make([]ResultRow, len(res.PerCell))}
+	for i, cr := range res.PerCell {
+		resp.Results[i] = ResultRow{
+			Result:          cr.Result,
+			Cell:            cr.Cell.Labels,
+			Speedup:         cr.Speedup,
+			BandwidthVsBase: cr.BandwidthVsBase,
+		}
+	}
+	resp.Cache = s.cacheDelta(hits0, misses0)
+	return resp, nil
+}
+
+// cacheDelta snapshots the shared cache counters against a request-entry
+// baseline.
+func (s *Service) cacheDelta(hits0, misses0 uint64) CacheStats {
+	hits, misses := s.runner.CacheStats()
+	return CacheStats{
+		Hits: hits, Misses: misses,
+		RequestHits: hits - hits0, RequestMisses: misses - misses0,
+	}
+}
+
+// resolveDevices maps preset names to specs; empty means all presets.
+func resolveDevices(names []string) ([]machine.Spec, error) {
+	if len(names) == 0 {
+		return machine.All(), nil
+	}
+	out := make([]machine.Spec, len(names))
+	for i, name := range names {
+		spec, err := machine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = spec
+	}
+	return out, nil
+}

@@ -175,3 +175,17 @@ func MustParseAxis(s string) Axis {
 	}
 	return ax
 }
+
+// ParseAxes compiles a list of axis declarations — the wire form a
+// SweepRequest carries.
+func ParseAxes(strs []string) ([]Axis, error) {
+	axes := make([]Axis, len(strs))
+	for i, s := range strs {
+		ax, err := ParseAxis(s)
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = ax
+	}
+	return axes, nil
+}

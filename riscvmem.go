@@ -35,6 +35,13 @@
 // built-ins — see examples/customdevice. The figure-regeneration Suite
 // (NewSuite) sits on top of the same machinery.
 //
+// Workloads are also addressable as pure data: a WorkloadSpec (kernel name
+// + string parameters, grammar "stream:test=TRIAD,elems=65536") builds the
+// same Workload values through registered kernel factories, and a Service
+// (NewService / NewServiceHandler, served by cmd/simd) executes JSON
+// BatchRequest/SweepRequest payloads on a shared memoized runner — the
+// library as a daemon; see examples/client.
+//
 // Every run is bit-for-bit deterministic: times come from the simulated
 // clock, never the host's, and batched results are bit-identical to serial
 // ones regardless of Runner parallelism.
@@ -42,6 +49,7 @@ package riscvmem
 
 import (
 	"context"
+	"net/http"
 
 	"riscvmem/internal/core"
 	"riscvmem/internal/kernels/blur"
@@ -49,6 +57,7 @@ import (
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/run"
+	"riscvmem/internal/service"
 	"riscvmem/internal/sim"
 	"riscvmem/internal/sweep"
 	"riscvmem/internal/units"
@@ -188,6 +197,93 @@ func WorkloadByName(name string) (Workload, error) { return run.Lookup(name) }
 
 // RegisteredWorkloads lists registered workload names, sorted.
 func RegisteredWorkloads() []string { return run.Names() }
+
+// WorkloadSpec API: workloads as data (internal/run). A WorkloadSpec is a
+// kernel name plus string parameters — parseable from the CLI grammar
+// ("stream:test=TRIAD,elems=65536", "transpose/Blocking"), marshalable
+// to/from JSON, and buildable into a live Workload through the kernel's
+// registered spec factory. The built-in kernels derive their memoization
+// CacheKey from the spec's canonical string encoding.
+type (
+	// WorkloadSpec is a workload described as data: kernel + parameters.
+	WorkloadSpec = run.WorkloadSpec
+	// KernelInfo documents one spec-buildable kernel (name, summary,
+	// parameter grammar, variant shorthand key).
+	KernelInfo = run.KernelInfo
+	// SpecFactory builds a Workload from a parsed WorkloadSpec.
+	SpecFactory = run.SpecFactory
+)
+
+// ParseWorkloadSpec parses the workload spec grammar
+// (kernel[:key=value,...] or kernel/variant) into a WorkloadSpec.
+func ParseWorkloadSpec(s string) (WorkloadSpec, error) { return run.ParseWorkloadSpec(s) }
+
+// MustParseWorkloadSpec is ParseWorkloadSpec but panics on error.
+func MustParseWorkloadSpec(s string) WorkloadSpec { return run.MustParseWorkloadSpec(s) }
+
+// NewWorkloadFromSpec materializes a spec through its kernel's registered
+// factory (falling back to the plain workload registry for custom names).
+func NewWorkloadFromSpec(spec WorkloadSpec) (Workload, error) { return run.NewWorkload(spec) }
+
+// ParseWorkload parses and materializes a spec string in one step.
+func ParseWorkload(s string) (Workload, error) { return run.ParseWorkload(s) }
+
+// RegisterKernel adds a spec factory to the process-wide kernel registry,
+// making a custom kernel addressable as data (CLI grammar, JSON requests)
+// exactly like the built-ins.
+func RegisterKernel(info KernelInfo, build SpecFactory) error {
+	return run.RegisterSpecFactory(info, build)
+}
+
+// MustRegisterKernel is RegisterKernel but panics on error.
+func MustRegisterKernel(info KernelInfo, build SpecFactory) {
+	run.MustRegisterSpecFactory(info, build)
+}
+
+// Kernels lists the registered spec-buildable kernels, sorted by name.
+func Kernels() []KernelInfo { return run.Kernels() }
+
+// Service API: the transport-agnostic request surface (internal/service) —
+// JSON-serializable requests executed on one shared memoized Runner, with
+// per-request timeouts and a bounded in-flight admission limit. cmd/simd
+// fronts a Service with HTTP; NewServiceHandler exposes the same wire
+// protocol for embedding.
+type (
+	// Service executes Batch and Sweep requests on a shared runner.
+	Service = service.Service
+	// ServiceOptions configures a Service (runner sharing, admission
+	// limit, job limit, timeouts).
+	ServiceOptions = service.Options
+	// BatchRequest asks for a device × workload cross-product.
+	BatchRequest = service.BatchRequest
+	// SweepRequest asks for a device-parameter ablation.
+	SweepRequest = service.SweepRequest
+	// ServiceResponse carries result rows, cache stats and per-job errors.
+	ServiceResponse = service.Response
+	// ServiceResultRow is one job outcome (plus sweep deltas when
+	// applicable).
+	ServiceResultRow = service.ResultRow
+	// ServiceRequestOptions are the per-request knobs (timeout).
+	ServiceRequestOptions = service.RequestOptions
+	// ServiceCacheStats reports the shared memo cache around one request.
+	ServiceCacheStats = service.CacheStats
+	// ServiceDeviceInfo is one device preset as the listing endpoints
+	// report it.
+	ServiceDeviceInfo = service.DeviceInfo
+	// ServiceWorkloadsInfo is the kernel/workload discovery document.
+	ServiceWorkloadsInfo = service.WorkloadsInfo
+)
+
+// ErrServiceOverloaded is returned (HTTP 429) when a request arrives while
+// the service's admission limit is saturated.
+var ErrServiceOverloaded = service.ErrOverloaded
+
+// NewService builds a Service.
+func NewService(opt ServiceOptions) *Service { return service.New(opt) }
+
+// NewServiceHandler fronts a Service with the simd HTTP wire protocol
+// (GET /healthz, /v1/devices, /v1/workloads; POST /v1/batch, /v1/sweep).
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 
 // Sweep API: declarative device-parameter ablations (internal/sweep). Axes
 // mutate a base Device — L2 present/size, MSHR count, prefetcher

@@ -208,3 +208,63 @@ func TestRunnerFacade(t *testing.T) {
 		t.Errorf("RegisteredWorkloads() = %v", names)
 	}
 }
+
+func TestWorkloadSpecFacade(t *testing.T) {
+	spec, err := riscvmem.ParseWorkloadSpec("stream:test=TRIAD,elems=4096,reps=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := riscvmem.ParseWorkloadSpec(spec.String())
+	if err != nil || !back.Equal(spec) {
+		t.Fatalf("round trip: %+v, %v", back, err)
+	}
+	w, err := riscvmem.NewWorkloadFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "stream/TRIAD" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	if _, err := riscvmem.ParseWorkload("transpose/Blocking"); err != nil {
+		t.Errorf("shorthand: %v", err)
+	}
+	if _, err := riscvmem.ParseWorkload("warp:speed=9"); err == nil ||
+		!strings.Contains(err.Error(), "kernels:") {
+		t.Errorf("unknown kernel error = %v", err)
+	}
+	kernels := riscvmem.Kernels()
+	if len(kernels) < 3 {
+		t.Errorf("Kernels() = %v", kernels)
+	}
+}
+
+func TestServiceFacade(t *testing.T) {
+	svc := riscvmem.NewService(riscvmem.ServiceOptions{})
+	resp, err := svc.Batch(context.Background(), riscvmem.BatchRequest{
+		Devices: []string{"MangoPi"},
+		Workloads: []riscvmem.WorkloadSpec{
+			riscvmem.MustParseWorkloadSpec("stream:test=COPY,elems=1024,reps=1"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Seconds <= 0 {
+		t.Fatalf("service batch: %+v", resp)
+	}
+	if h := riscvmem.NewServiceHandler(svc); h == nil {
+		t.Fatal("nil handler")
+	}
+	sres, err := svc.Sweep(context.Background(), riscvmem.SweepRequest{
+		Device: "MangoPi", Axes: []string{"maxinflight=base,2"},
+		Workloads: []riscvmem.WorkloadSpec{
+			riscvmem.MustParseWorkloadSpec("transpose:variant=Naive,n=64"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Results) != 2 {
+		t.Fatalf("service sweep: %+v", sres)
+	}
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Record simulator throughput in BENCH_simthroughput.json so the perf
 # trajectory is tracked across PRs. Appends one record per run with the
-# current commit, date, ns/op of the two streaming benchmarks, and the
+# current commit, date, ns/op of the two streaming benchmarks, the
 # batched-runner throughput — cold (every job simulates) vs cached (the
 # memoized Runner replays the identical 8-job batch with zero new
-# simulations).
+# simulations) — and the service-layer request throughput (the same warm
+# 8-job batch as a full BatchRequest through the Service facade).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,8 @@ rawrunner=$(go test -run '^$' -bench 'BenchmarkRunnerBatch$' \
     -benchtime "$RUNNER_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
 rawcached=$(go test -run '^$' -bench 'BenchmarkRunnerBatchCached$' \
     -benchtime "$CACHED_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
+rawservice=$(go test -run '^$' -bench 'BenchmarkServiceBatch$' \
+    -benchtime "$CACHED_BENCHTIME" -count "$COUNT" ./internal/service | grep ns/op)
 
 median() {
     echo "$2" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
@@ -30,6 +33,7 @@ legacy=$(median '^BenchmarkSimulatorThroughput' "$raw") \
 trange=$(median '^BenchmarkTouchRangeThroughput' "$raw") \
 runner=$(median '^BenchmarkRunnerBatch(-|$)' "$rawrunner") \
 cached=$(median '^BenchmarkRunnerBatchCached' "$rawcached") \
+service=$(median '^BenchmarkServiceBatch' "$rawservice") \
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
 import datetime
@@ -44,6 +48,7 @@ record = {
     "touchrange_throughput_ns_per_op": float(os.environ["trange"]),
     "runner_batch_ns_per_op": float(os.environ["runner"]),
     "runner_batch_cached_ns_per_op": float(os.environ["cached"]),
+    "service_request_ns_per_op": float(os.environ["service"]),
     "count": int(os.environ["COUNT"]),
 }
 try:
@@ -63,5 +68,6 @@ with open(out, "w") as f:
 print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
       f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op, "
       f"runner_batch={record['runner_batch_ns_per_op']} ns/batch, "
-      f"runner_batch_cached={record['runner_batch_cached_ns_per_op']} ns/batch -> {out}")
+      f"runner_batch_cached={record['runner_batch_cached_ns_per_op']} ns/batch, "
+      f"service_request={record['service_request_ns_per_op']} ns/req -> {out}")
 EOF

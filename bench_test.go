@@ -254,6 +254,36 @@ func BenchmarkTouchRangeThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelRangeThroughput measures multi-core streaming through the
+// engine-serialized batched miss pipeline: every VisionFive core TouchRanges
+// its static share of a shared array via Machine.ParallelRange, so line
+// batching, the discrete-event ordering of the shared miss path and the
+// prefetcher streak all run together. ns/op is host time per simulated
+// element summed over the cores.
+func BenchmarkParallelRangeThroughput(b *testing.B) {
+	dev := riscvmem.VisionFive()
+	m, err := riscvmem.NewMachine(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 16
+	arr, err := m.NewF64(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		chunk := n
+		if left := b.N - done; left < chunk {
+			chunk = left
+		}
+		m.ParallelRange(dev.Cores, chunk, riscvmem.Static, 0, func(c *riscvmem.Core, lo, hi int) {
+			arr.LoadRange(c, lo, hi)
+		})
+		done += chunk
+	}
+}
+
 // Compile-time check that the hier types remain exported for custom devices
 // (used by examples/customdevice).
 var _ = hier.Level{}

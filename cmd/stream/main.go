@@ -6,6 +6,7 @@
 //
 //	stream [-device NAME] [-test COPY|SCALE|SUM|TRIAD|all] [-scale N]
 //	       [-reps N] [-format table|csv|json]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"riscvmem/internal/kernels/stream"
 	"riscvmem/internal/machine"
+	"riscvmem/internal/profiling"
 	"riscvmem/internal/report"
 	"riscvmem/internal/run"
 )
@@ -27,7 +29,23 @@ func main() {
 	scale := flag.Int("scale", 8, "divide the DRAM working set by this factor")
 	reps := flag.Int("reps", 2, "timed repetitions (best kept)")
 	format := flag.String("format", "table", "output format: table, csv or json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// os.Exit skips defers: error exits flush the profiles explicitly so a
+	// failed run never leaves a truncated CPU profile behind.
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "stream:", err)
+		stopProf()
+		os.Exit(1)
+	}
 
 	var devices []machine.Spec
 	if *device == "" {
@@ -35,8 +53,7 @@ func main() {
 	} else {
 		spec, err := machine.ByName(*device)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "stream:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		devices = []machine.Spec{spec}
 	}
@@ -46,8 +63,7 @@ func main() {
 	} else {
 		t, err := stream.TestByName(*testName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "stream:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		tests = []stream.Test{t}
 	}
@@ -69,8 +85,7 @@ func main() {
 					"scaleby": strconv.Itoa(lv.ScaleBy),
 				}})
 				if err != nil {
-					fmt.Fprintln(os.Stderr, "stream:", err)
-					os.Exit(1)
+					fail(err)
 				}
 				jobs = append(jobs, run.Job{Device: spec, Workload: w})
 				labels = append(labels, label{spec.Name, lv.Name, t.String()})
@@ -79,8 +94,7 @@ func main() {
 	}
 	results, err := run.New(run.Options{}).Run(context.Background(), jobs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "stream:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	tb := report.Table{Title: "STREAM bandwidth (simulated)",
@@ -89,7 +103,6 @@ func main() {
 		tb.Add(labels[i].device, labels[i].level, labels[i].test, r.Bandwidth.String())
 	}
 	if err := report.Emit(os.Stdout, *format, tb); err != nil {
-		fmt.Fprintln(os.Stderr, "stream:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }

@@ -9,7 +9,7 @@
 //	sweep -device MangoPi -axis maxinflight=1,2,4,8,16 -axis l2=off,base,1MiB
 //	      [-workloads "transpose:variant=Naive,n=512; stream/TRIAD"]
 //	      [-n 512] [-elems 65536] [-reps 2] [-image 318x253x3] [-filter 19]
-//	      [-format table|csv|json]
+//	      [-format table|csv|json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Axis grammar (every axis also accepts the literal value "base", meaning
 // "leave the parameter at the preset's value"):
@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"riscvmem/internal/machine"
+	"riscvmem/internal/profiling"
 	"riscvmem/internal/report"
 	"riscvmem/internal/run"
 	"riscvmem/internal/sweep"
@@ -124,10 +125,25 @@ func main() {
 	image := flag.String("image", "318x253x3", "gblur image size as WxHxC")
 	filter := flag.Int("filter", 19, "gblur odd filter size")
 	format := flag.String("format", "table", "output format: table, csv or json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
+	// os.Exit skips defers: later failures flush the profiles explicitly so
+	// a failed run never leaves a truncated CPU profile behind.
+	fail = func(err error) {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		stopProf()
 		os.Exit(1)
 	}
 

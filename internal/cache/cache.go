@@ -229,7 +229,30 @@ func (c *Cache) findScan(base int, tag uint64) int {
 // scan has already located the install victim (first invalid way, or the
 // LRU/FIFO minimum) so no second walk runs.
 func (c *Cache) Access(addr uint64, write bool) Result {
-	ln := addr >> c.lineShift
+	return c.access(addr>>c.lineShift, write, &c.Stats)
+}
+
+// AccessLine is Access for a precomputed line number with caller-buffered
+// statistics: the hit/miss/writeback/install counts accumulate into *st
+// instead of c.Stats, so a line run (hier.AccessLines) applies them as one
+// bulk AddStats at the end instead of per access. Timing, replacement state
+// and the Result are identical to Access; callers that pass a private st
+// must AddStats it back before the counters are observed.
+func (c *Cache) AccessLine(ln uint64, write bool, st *Stats) Result {
+	return c.access(ln, write, st)
+}
+
+// AddStats folds caller-buffered access counts (from AccessLine) into the
+// cache's statistics.
+func (c *Cache) AddStats(st Stats) {
+	c.Stats.Hits += st.Hits
+	c.Stats.Misses += st.Misses
+	c.Stats.Writebacks += st.Writebacks
+	c.Stats.Installs += st.Installs
+}
+
+// access is the fused demand path shared by Access and AccessLine.
+func (c *Cache) access(ln uint64, write bool, st *Stats) Result {
 	set, tag := int(ln&c.setMask), ln>>c.setShift
 	base := set * c.ways
 	c.clock++
@@ -244,7 +267,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 				l.meta |= lineDirty
 			}
 			c.touchPLRU(set, int(m.way))
-			c.Stats.Hits++
+			st.Hits++
 			return Result{Hit: true}
 		}
 	}
@@ -261,7 +284,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 				l.meta |= lineDirty
 			}
 			c.touchPLRU(set, i)
-			c.Stats.Hits++
+			st.Hits++
 			return Result{Hit: true}
 		}
 		if l.meta&lineValid == 0 {
@@ -272,18 +295,18 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			victim, minUsed = i, l.used
 		}
 	}
-	c.Stats.Misses++
+	st.Misses++
 	if invalidAt >= 0 { // the first invalid way always wins, as in install
 		victim = invalidAt
 	} else if c.cfg.Policy == Random || c.cfg.Policy == PLRU {
 		victim = c.pickVictim(set)
 	}
-	return c.installAt(set, victim, tag, write)
+	return c.installAt(set, victim, tag, write, st)
 }
 
-// installAt installs into a pre-selected victim way (from Access's fused
+// installAt installs into a pre-selected victim way (from access's fused
 // scan), identical to install's LRU/FIFO choice.
-func (c *Cache) installAt(set, victim int, tag uint64, dirty bool) Result {
+func (c *Cache) installAt(set, victim int, tag uint64, dirty bool, st *Stats) Result {
 	base := set * c.ways
 	var res Result
 	if v := &c.lines[base+victim]; v.meta&lineValid != 0 {
@@ -291,7 +314,7 @@ func (c *Cache) installAt(set, victim int, tag uint64, dirty bool) Result {
 		res.EvictedDirty = v.meta&lineDirty != 0
 		res.Evicted = ((v.meta >> tagShift << c.setShift) | uint64(set)) << c.lineShift
 		if res.EvictedDirty {
-			c.Stats.Writebacks++
+			st.Writebacks++
 		}
 	}
 	meta := tag<<tagShift | lineValid
@@ -306,7 +329,7 @@ func (c *Cache) installAt(set, victim int, tag uint64, dirty bool) Result {
 	ln := tag<<c.setShift | uint64(set)
 	c.memo[ln&(memoEntries-1)] = wayMemo{key: ln + 1, way: int32(victim)}
 	c.touchPLRU(set, victim)
-	c.Stats.Installs++
+	st.Installs++
 	return res
 }
 
@@ -406,7 +429,7 @@ func (c *Cache) install(set int, tag uint64, dirty bool) Result {
 			}
 		}
 	}
-	return c.installAt(set, victim, tag, dirty)
+	return c.installAt(set, victim, tag, dirty, &c.Stats)
 }
 
 func (c *Cache) pickVictim(set int) int {

@@ -123,23 +123,31 @@ func (m *Model) channel(addr uint64) int {
 	return int((addr >> m.shift) % uint64(m.cfg.Channels))
 }
 
-// Request serves a blocking line transfer issued at time `now` (core cycles)
-// and returns its completion time. Callers must issue requests in
-// non-decreasing global time order (the simulator's event ordering
-// guarantees this), so per-channel FIFO queueing is exact.
-func (m *Model) Request(now float64, addr uint64, bytes int64, write bool) (done float64) {
+// serve is the timing core shared by Request and LineRead: channel pick,
+// FIFO queueing (QueueCycles accumulates per request, in order — the float
+// sums are part of the bit-exactness contract), occupancy and latency.
+func (m *Model) serve(now float64, addr uint64, xfer float64) (done float64) {
 	ch := m.channel(addr)
 	start := now
 	if m.nextFree[ch] > start {
 		m.Stats.QueueCycles += m.nextFree[ch] - start
 		start = m.nextFree[ch]
 	}
+	m.nextFree[ch] = start + xfer
+	m.busy[ch] += xfer
+	return start + m.cfg.LatencyCycles + xfer
+}
+
+// Request serves a blocking line transfer issued at time `now` (core cycles)
+// and returns its completion time. Callers must issue requests in
+// non-decreasing global time order (the simulator's event ordering
+// guarantees this), so per-channel FIFO queueing is exact.
+func (m *Model) Request(now float64, addr uint64, bytes int64, write bool) (done float64) {
 	xfer := m.lineXfer
 	if bytes != m.cfg.LineBytes {
 		xfer = float64(bytes) / m.cfg.BytesPerCycle
 	}
-	m.nextFree[ch] = start + xfer
-	m.busy[ch] += xfer
+	done = m.serve(now, addr, xfer)
 	if write {
 		m.Stats.Writes++
 		m.Stats.BytesWritten += uint64(bytes)
@@ -147,7 +155,22 @@ func (m *Model) Request(now float64, addr uint64, bytes int64, write bool) (done
 		m.Stats.Reads++
 		m.Stats.BytesRead += uint64(bytes)
 	}
-	return start + m.cfg.LatencyCycles + xfer
+	return done
+}
+
+// LineRead is Request for a line-sized read with caller-batched traffic
+// counters: timing is identical (same serve core), but Reads/BytesRead are
+// left for the caller to fold in as one AddLineReads at the end of a line
+// run (hier.AccessLines).
+func (m *Model) LineRead(now float64, addr uint64) (done float64) {
+	return m.serve(now, addr, m.lineXfer)
+}
+
+// AddLineReads folds n caller-batched LineRead transfers into the traffic
+// statistics.
+func (m *Model) AddLineReads(n uint64) {
+	m.Stats.Reads += n
+	m.Stats.BytesRead += n * uint64(m.cfg.LineBytes)
 }
 
 // Posted serves a non-blocking transfer (write-back or prefetch fill): it

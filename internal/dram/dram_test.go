@@ -156,3 +156,27 @@ func TestPropertyFIFOMonotonic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLineReadEquivalence pins LineRead + one AddLineReads against Request:
+// identical completion times, queueing and final statistics.
+func TestLineReadEquivalence(t *testing.T) {
+	cfg := Config{Name: "t", Channels: 2, BytesPerCycle: 0.5, LatencyCycles: 140, LineBytes: 64}
+	ref := MustNew(cfg)
+	got := MustNew(cfg)
+	now := 0.0
+	var lines uint64
+	for i := 0; i < 200; i++ {
+		addr := uint64(i%7) * 64
+		d1 := ref.Request(now, addr, 64, false)
+		d2 := got.LineRead(now, addr)
+		if d1 != d2 {
+			t.Fatalf("request %d diverges: got %v want %v", i, d2, d1)
+		}
+		lines++
+		now += 3.5
+	}
+	got.AddLineReads(lines)
+	if got.Stats != ref.Stats {
+		t.Errorf("stats diverge: got %+v want %+v", got.Stats, ref.Stats)
+	}
+}

@@ -285,3 +285,71 @@ func TestMissOverlapAccessor(t *testing.T) {
 		t.Fatalf("MissOverlap() = %v", got)
 	}
 }
+
+// TestAccessLinesEquivalence pins AccessLines at the hierarchy level against
+// the per-line Access loop it batches: identical times and per-line charge
+// sequences, with and without a prefetcher, reads and writes, across page
+// boundaries. (The sim-level oracle and property tests cover the full
+// machinery; this is the component-level contract.)
+func TestAccessLinesEquivalence(t *testing.T) {
+	withPref := flat()
+	withPref.Prefetch = &prefetch.StrideConfig{LineSize: 64, Streams: 4,
+		TrainThreshold: 2, InitDistance: 2, MaxDistance: 8}
+	for name, cfg := range map[string]Config{"flat": flat(), "pref": withPref, "l2": withL2(1)} {
+		for _, write := range []bool{false, true} {
+			ref := MustNew(cfg)
+			got := MustNew(cfg)
+			const perLine, nLines = 8, 400 // > 6 pages
+			const issue = 1.0
+			addr, refNow := uint64(4096), 0.0
+			for i := 0; i < nLines; i++ {
+				refNow = ref.Access(0, refNow, addr, write, issue)
+				for e := 1; e < perLine; e++ {
+					refNow += issue
+				}
+				addr += 64
+			}
+			gotNow := got.AccessLines(0, 0, 4096, nLines, perLine, write, issue, nil, nil)
+			if gotNow != refNow {
+				t.Errorf("%s/write=%v: time diverges: got %v want %v", name, write, gotNow, refNow)
+			}
+			if g, r := got.L1Stats(0), ref.L1Stats(0); g != r {
+				t.Errorf("%s/write=%v: L1 stats diverge: got %+v want %+v", name, write, g, r)
+			}
+			gt, gw := got.TLBStats(0)
+			rt, rw := ref.TLBStats(0)
+			if gt != rt || gw != rw {
+				t.Errorf("%s/write=%v: TLB stats diverge: got %+v/%d want %+v/%d", name, write, gt, gw, rt, rw)
+			}
+			if got.DRAM().Stats != ref.DRAM().Stats {
+				t.Errorf("%s/write=%v: DRAM stats diverge: got %+v want %+v",
+					name, write, got.DRAM().Stats, ref.DRAM().Stats)
+			}
+			if got.PrefetchFills != ref.PrefetchFills {
+				t.Errorf("%s/write=%v: prefetch fills diverge: got %d want %d",
+					name, write, got.PrefetchFills, ref.PrefetchFills)
+			}
+		}
+	}
+}
+
+// TestBatchLinesGuard covers the ineligible geometry: a line larger than the
+// translation window disables the batched pipeline, and AccessLines refuses
+// to run rather than mis-batching.
+func TestBatchLinesGuard(t *testing.T) {
+	cfg := flat()
+	cfg.LineSize = 8192 // larger than the 4 KiB window
+	cfg.L1.LineSize = 8192
+	cfg.L1.Size = 64 << 10
+	cfg.DRAM.LineBytes = 8192
+	h := MustNew(cfg)
+	if h.BatchLines() {
+		t.Fatal("BatchLines should be false for lines larger than a page")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AccessLines should panic on an ineligible hierarchy")
+		}
+	}()
+	h.AccessLines(0, 0, 0, 1, 1, false, 1, nil, nil)
+}

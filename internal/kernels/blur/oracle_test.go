@@ -6,11 +6,13 @@ import (
 	"riscvmem/internal/machine"
 )
 
-// TestRangeOracle asserts the TouchSpans-based blur kernels are
-// bit-identical — simulated cycles and every memory-system statistic — to
-// the scalar element-by-element loops, for all five variants.
+// TestRangeOracle asserts the TouchSpans-based blur kernels — whose
+// single-span unit-stride bursts resolve through the batched miss pipeline
+// (hier.AccessLines) — are bit-identical, in simulated cycles and every
+// memory-system statistic, to the scalar element-by-element loops, for all
+// five variants on every device preset.
 func TestRangeOracle(t *testing.T) {
-	for _, spec := range []machine.Spec{machine.VisionFive(), machine.RaspberryPi4()} {
+	for _, spec := range machine.All() {
 		for _, v := range Variants() {
 			cfg := Config{W: 40, H: 32, C: 3, F: 9, Variant: v, Verify: true}
 			rng, err := Run(spec, cfg)

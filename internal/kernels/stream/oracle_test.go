@@ -6,10 +6,11 @@ import (
 	"riscvmem/internal/machine"
 )
 
-// TestRangeOracle asserts the TouchSpans-based STREAM path is bit-identical
-// — bandwidths per repetition and every memory-system statistic — to the
-// scalar element-by-element loop, for all four tests on all four device
-// presets (multi-threaded where the device is).
+// TestRangeOracle asserts the TouchSpans-based STREAM path — including the
+// batched miss pipeline (hier.AccessLines) behind the range APIs — is
+// bit-identical, in bandwidths per repetition and every memory-system
+// statistic, to the scalar element-by-element loop, for all four tests on
+// all four device presets (multi-threaded where the device is).
 func TestRangeOracle(t *testing.T) {
 	for _, spec := range machine.All() {
 		for _, tst := range Tests() {

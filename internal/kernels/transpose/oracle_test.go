@@ -6,12 +6,14 @@ import (
 	"riscvmem/internal/machine"
 )
 
-// TestRangeOracle asserts the TouchSpans-based transposition kernels are
-// bit-identical — simulated cycles and every memory-system statistic — to
-// the scalar element-by-element loops, across the variants that exercise
-// every rewritten loop (in-place swaps, staged tiles, dynamic schedule).
+// TestRangeOracle asserts the TouchSpans-based transposition kernels —
+// whose unit-stride bursts resolve through the batched miss pipeline
+// (hier.AccessLines) — are bit-identical, in simulated cycles and every
+// memory-system statistic, to the scalar element-by-element loops, across
+// the variants that exercise every rewritten loop (in-place swaps, staged
+// tiles, dynamic schedule) on every device preset.
 func TestRangeOracle(t *testing.T) {
-	for _, spec := range []machine.Spec{machine.MangoPiD1(), machine.XeonServer()} {
+	for _, spec := range machine.All() {
 		for _, v := range []Variant{Naive, Parallel, Blocking, ManualBlocking, Dynamic} {
 			cfg := Config{N: 128, Variant: v, Verify: true}
 			rng, err := Run(spec, cfg)

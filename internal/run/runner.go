@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"riscvmem/internal/machine"
 	"riscvmem/internal/sim"
@@ -63,12 +65,26 @@ type Options struct {
 // A Runner is safe for concurrent use; the zero value is not valid, use New.
 type Runner struct {
 	opt  Options
-	mu   sync.Mutex
+	mu   sync.Mutex // guards pool
 	pool map[any][]*sim.Machine
 
-	cache  map[resultKey]*flight
-	hits   uint64 // results served without a new simulation
-	misses uint64 // simulations actually executed for keyed jobs
+	// The result cache is sharded by a hash of the workload key so large
+	// parallel batches of distinct cells stop serializing on one mutex; an
+	// identical cell always hashes to the same shard, which preserves the
+	// per-key singleflight. Counters are atomics for the same reason — a
+	// cache hit previously re-took the runner lock just to count itself.
+	cache  [cacheShards]cacheShard
+	seed   maphash.Seed
+	hits   atomic.Uint64 // results served without a new simulation
+	misses atomic.Uint64 // simulations actually executed for keyed jobs
+}
+
+// cacheShards is the result-cache shard count; a power of two.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[resultKey]*flight
 }
 
 // resultKey identifies one memoizable cell: the device's full parameter
@@ -76,6 +92,16 @@ type Runner struct {
 type resultKey struct {
 	device   any
 	workload string
+}
+
+// shard picks the cache shard for a cell. Both coordinates feed the hash:
+// sweep batches are many device cells × few workloads (mutated cells carry
+// distinct Renamed device names), suite batches are few devices × many
+// workloads — hashing either alone would collapse one of those shapes onto
+// a single shard.
+func (r *Runner) shard(device, workload string) *cacheShard {
+	h := maphash.String(r.seed, workload) ^ maphash.String(r.seed, device)
+	return &r.cache[h&(cacheShards-1)]
 }
 
 // flight is one singleflight cache slot: the first job to claim a key
@@ -89,11 +115,15 @@ type flight struct {
 
 // New builds a Runner.
 func New(opt Options) *Runner {
-	return &Runner{
-		opt:   opt,
-		pool:  map[any][]*sim.Machine{},
-		cache: map[resultKey]*flight{},
+	r := &Runner{
+		opt:  opt,
+		pool: map[any][]*sim.Machine{},
+		seed: maphash.MakeSeed(),
 	}
+	for i := range r.cache {
+		r.cache[i].m = map[resultKey]*flight{}
+	}
+	return r
 }
 
 // CacheStats reports the memoization counters: hits is the number of keyed
@@ -101,15 +131,12 @@ func New(opt Options) *Runner {
 // simulation), misses the number of simulations actually executed for keyed
 // jobs. Unkeyed jobs appear in neither.
 func (r *Runner) CacheStats() (hits, misses uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.hits, r.misses
+	return r.hits.Load(), r.misses.Load()
 }
 
-// acquire pops an idle machine for the device, resetting it to power-on, or
-// constructs one when the pool is empty.
-func (r *Runner) acquire(spec machine.Spec) (*sim.Machine, error) {
-	key := spec.Identity()
+// acquire pops an idle machine for the device identity, resetting it to
+// power-on, or constructs one when the pool is empty.
+func (r *Runner) acquire(spec machine.Spec, key any) (*sim.Machine, error) {
 	r.mu.Lock()
 	if ms := r.pool[key]; len(ms) > 0 {
 		m := ms[len(ms)-1]
@@ -122,9 +149,9 @@ func (r *Runner) acquire(spec machine.Spec) (*sim.Machine, error) {
 	return sim.New(spec)
 }
 
-// release returns a machine to the pool.
+// release returns a machine to the pool, keyed by its memoized identity.
 func (r *Runner) release(m *sim.Machine) {
-	key := m.Spec().Identity()
+	key := m.Identity()
 	r.mu.Lock()
 	r.pool[key] = append(r.pool[key], m)
 	r.mu.Unlock()
@@ -140,15 +167,17 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	devID := job.Device.Identity() // computed once per job: keys both cache and pool
 	kw, keyed := job.Workload.(Keyed)
 	if !keyed || r.opt.DisableCache {
-		return r.simulate(ctx, job)
+		return r.simulate(ctx, job, devID)
 	}
-	key := resultKey{device: job.Device.Identity(), workload: kw.CacheKey()}
+	key := resultKey{device: devID, workload: kw.CacheKey()}
+	sh := r.shard(job.Device.Name, key.workload)
 	for {
-		r.mu.Lock()
-		if f, ok := r.cache[key]; ok {
-			r.mu.Unlock()
+		sh.mu.Lock()
+		if f, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
 			select {
 			case <-f.done:
 				if f.err != nil && ctx.Err() == nil &&
@@ -163,28 +192,26 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 				// Count the hit only when the joined flight's outcome is
 				// actually served — not on joins that end in a retry or in
 				// this job's own cancellation.
-				r.mu.Lock()
-				r.hits++
-				r.mu.Unlock()
+				r.hits.Add(1)
 				return f.res, f.err
 			case <-ctx.Done():
 				return Result{}, ctx.Err()
 			}
 		}
 		f := &flight{done: make(chan struct{})}
-		r.cache[key] = f
-		r.misses++
-		r.mu.Unlock()
-		f.res, f.err = r.simulate(ctx, job)
+		sh.m[key] = f
+		r.misses.Add(1)
+		sh.mu.Unlock()
+		f.res, f.err = r.simulate(ctx, job, devID)
 		if f.err != nil {
 			// Failures are not memoized (a later identical job retries,
 			// and the eviction must precede close so retrying waiters
 			// never re-join this flight), but jobs already waiting share
 			// the error — unless it is another batch's cancellation, see
 			// above.
-			r.mu.Lock()
-			delete(r.cache, key)
-			r.mu.Unlock()
+			sh.mu.Lock()
+			delete(sh.m, key)
+			sh.mu.Unlock()
 		}
 		close(f.done)
 		return f.res, f.err
@@ -192,8 +219,8 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 }
 
 // simulate executes one job on a pooled machine.
-func (r *Runner) simulate(ctx context.Context, job Job) (Result, error) {
-	m, err := r.acquire(job.Device)
+func (r *Runner) simulate(ctx context.Context, job Job, devID any) (Result, error) {
+	m, err := r.acquire(job.Device, devID)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
 	}

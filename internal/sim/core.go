@@ -2,6 +2,15 @@ package sim
 
 import "riscvmem/internal/hier"
 
+// engineOrder adapts the discrete-event engine to hier.Order so the batched
+// line pipeline (hier.AccessLines) serializes its shared sections through
+// the same global (time, core ID) ordering as the split AccessL1+MissRest
+// path.
+type engineOrder struct{ e *engine }
+
+func (o engineOrder) Enter(core int, now float64) { o.e.enter(core, now) }
+func (o engineOrder) Leave(core int, now float64) { o.e.leave(core, now) }
+
 // Core is one simulated hardware thread inside a Run region. All methods
 // must be called only from the goroutine executing that core's body.
 type Core struct {
@@ -9,7 +18,12 @@ type Core struct {
 	m   *Machine
 	h   *hier.Hierarchy // == m.h, cached to skip a chase per access
 	e   *engine         // nil in single-core regions
+	ord hier.Order      // e wrapped for hier.AccessLines; nil when e is nil
 	now float64
+
+	// batch gates the bulk range APIs into hier.AccessLines (line size not
+	// exceeding the translation window; true on every preset).
+	batch bool
 
 	// Hot-path constants copied from the machine at region start.
 	lineMask    uint64

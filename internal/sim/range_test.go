@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 
 	"riscvmem/internal/machine"
@@ -134,6 +135,164 @@ func TestLoadStoreRange(t *testing.T) {
 			t.Errorf("range APIs did not charge accesses: loads=%d stores=%d", c.Loads, c.Stores)
 		}
 	})
+}
+
+// rangeOp is one randomly drawn operation of a property-test program: a
+// TouchRange, a TouchSpans batch, or a single Touch (which perturbs the L0
+// filter, the prefetcher's training and the MSHR ring between bursts — the
+// states the batched miss pipeline's streak mode has to re-establish).
+type rangeOp struct {
+	kind  int // 0 = TouchRange, 1 = TouchSpans, 2 = Touch
+	off   int64
+	bytes int
+	n     int
+	write bool
+	spans []Span // offsets in Addr, rebased onto the array per run
+	post  []float64
+}
+
+// randRangeProgram draws a fixed-seed program whose operations stay inside
+// an elems-element F64 array.
+func randRangeProgram(rng *rand.Rand, elems int) []rangeOp {
+	widths := []int{1, 2, 3, 4, 8, 16}
+	limit := int64(elems) * 8
+	ops := make([]rangeOp, 0, 48)
+	for len(ops) < 48 {
+		op := rangeOp{kind: rng.Intn(3), write: rng.Intn(2) == 0}
+		op.bytes = widths[rng.Intn(len(widths))]
+		switch op.kind {
+		case 0: // TouchRange: random offset incl. unaligned, page-crossing runs
+			op.off = rng.Int63n(limit / 2)
+			maxN := (limit - op.off) / int64(op.bytes)
+			if maxN < 1 {
+				continue
+			}
+			op.n = 1 + rng.Intn(int(min(maxN, 9000)))
+		case 1: // TouchSpans: 1–3 spans, strides forward/backward/strided
+			op.n = 1 + rng.Intn(2000)
+			nspans := 1 + rng.Intn(3)
+			for s := 0; s < nspans; s++ {
+				b := widths[rng.Intn(len(widths))]
+				stride := int64(b) * []int64{1, 1, 1, -1, 2, 8}[rng.Intn(6)]
+				span := Span{Stride: stride, Bytes: b, Write: rng.Intn(2) == 0}
+				extent := stride * int64(op.n-1)
+				lo, hi := int64(0), extent+int64(b)
+				if stride < 0 {
+					lo, hi = extent, int64(b)
+				}
+				if hi-lo >= limit {
+					op.n = 1
+					extent, lo, hi = 0, 0, int64(b)
+				}
+				span.Addr = uint64(rng.Int63n(limit-(hi-lo)) - lo)
+				op.spans = append(op.spans, span)
+			}
+			if rng.Intn(2) == 0 {
+				op.post = []float64{0.25, 1.5}
+			}
+		case 2: // lone Touch
+			op.off = rng.Int63n(limit - 16)
+			op.n = 1
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestRangePropertyOracle draws fixed-seed random programs — random element
+// widths, offsets, lengths, strides, page-crossing runs, reads and writes,
+// with lone Touches perturbing filter/prefetcher/MSHR state in between — and
+// asserts that executing them through the range APIs (and so through the
+// batched miss pipeline where eligible) is bit-identical to the per-element
+// Touch loop on every device preset: same cycles, same access counters, same
+// full memory-system summary including DRAM queue cycles.
+func TestRangePropertyOracle(t *testing.T) {
+	const elems = 1 << 15
+	for _, spec := range machine.All() {
+		rng := rand.New(rand.NewSource(0x5eed5eed))
+		for prog := 0; prog < 4; prog++ {
+			ops := randRangeProgram(rng, elems)
+			ref := runPattern(t, spec, elems, func(c *Core, a *F64) {
+				base := a.Addr(0)
+				for _, op := range ops {
+					switch op.kind {
+					case 0, 2:
+						for i := 0; i < op.n; i++ {
+							c.Touch(base+uint64(op.off)+uint64(i*op.bytes), op.bytes, op.write)
+						}
+					case 1:
+						for i := 0; i < op.n; i++ {
+							for _, s := range op.spans {
+								c.Touch(base+s.Addr+uint64(int64(i)*s.Stride), s.Bytes, s.Write)
+							}
+							for _, p := range op.post {
+								c.Cycles(p)
+							}
+						}
+					}
+				}
+			})
+			got := runPattern(t, spec, elems, func(c *Core, a *F64) {
+				base := a.Addr(0)
+				for _, op := range ops {
+					switch op.kind {
+					case 0:
+						c.TouchRange(base+uint64(op.off), op.bytes, op.n, op.write)
+					case 2:
+						c.Touch(base+uint64(op.off), op.bytes, op.write)
+					case 1:
+						spans := make([]Span, len(op.spans))
+						copy(spans, op.spans)
+						for s := range spans {
+							spans[s].Addr += base
+						}
+						c.TouchSpans(op.n, spans, op.post)
+					}
+				}
+			})
+			if got != ref {
+				t.Errorf("%s/prog%d: range APIs diverge from element path:\n got %+v\nwant %+v",
+					spec.Name, prog, got, ref)
+			}
+		}
+	}
+}
+
+// TestParallelRangeOracle asserts the batched pipeline under the discrete-
+// event engine: a multi-core ParallelRange whose bodies stream TouchRange
+// bursts (read phase, then write phase) must be bit-identical to the same
+// schedule charged element by element, on every preset at its full core
+// count.
+func TestParallelRangeOracle(t *testing.T) {
+	const elems = 1 << 14
+	run := func(spec machine.Spec, ranged bool) (float64, Summary) {
+		m := MustNew(spec)
+		a := m.MustNewF64(elems)
+		body := func(c *Core, lo, hi int, write bool) {
+			if ranged {
+				c.TouchRange(a.Addr(lo), 8, hi-lo, write)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				c.Touch(a.Addr(i), 8, write)
+			}
+		}
+		res := m.ParallelRange(spec.Cores, elems, Static, 0, func(c *Core, lo, hi int) {
+			body(c, lo, hi, false)
+		})
+		res2 := m.ParallelRange(spec.Cores, elems, Dynamic, 64, func(c *Core, lo, hi int) {
+			body(c, lo, hi, true)
+		})
+		return res.Cycles + res2.Cycles, m.Stats()
+	}
+	for _, spec := range machine.All() {
+		refC, refS := run(spec, false)
+		gotC, gotS := run(spec, true)
+		if gotC != refC || gotS != refS {
+			t.Errorf("%s: parallel TouchRange diverges: got (%v,%+v) want (%v,%+v)",
+				spec.Name, gotC, gotS, refC, refS)
+		}
+	}
 }
 
 // TestFusedPathDeterminism runs an identical mixed single/multi-core

@@ -39,6 +39,11 @@ type Machine struct {
 	lineMask    uint64  // LineSize-1
 	l1HitCycles float64 // hierarchy L1 hit cost
 	missOverlap float64 // exposed fraction of miss latency
+
+	// identity memoizes spec.Identity() — a pure (and not free: it boxes a
+	// ~30-field struct) function of the immutable spec, recomputed on every
+	// pool release before this cache existed.
+	identity any
 }
 
 // New instantiates a machine from a validated spec.
@@ -51,6 +56,7 @@ func New(spec machine.Spec) (*Machine, error) {
 		lineMask:    uint64(spec.Mem.LineSize - 1),
 		l1HitCycles: spec.Mem.L1HitCycles,
 		missOverlap: spec.Mem.MissOverlap,
+		identity:    spec.Identity(),
 	}, nil
 }
 
@@ -66,6 +72,11 @@ func MustNew(spec machine.Spec) *Machine {
 
 // Spec returns the device description.
 func (m *Machine) Spec() machine.Spec { return m.spec }
+
+// Identity returns the memoized machine.Spec.Identity() of the immutable
+// spec — the pooling key the batch Runner (internal/run) uses on every
+// acquire/release.
+func (m *Machine) Identity() any { return m.identity }
 
 // Reset restores the machine to its power-on state: the global clock returns
 // to zero, the allocator rewinds, and every structural component of the
@@ -137,12 +148,17 @@ func (m *Machine) Run(n int, body func(c *Core)) Result {
 	if n > 1 {
 		e = newEngine(n)
 	}
+	var ord hier.Order
+	if e != nil {
+		ord = engineOrder{e: e}
+	}
 	for i := range cores {
 		cores[i] = &Core{
-			id: i, m: m, h: m.h, e: e, now: start,
+			id: i, m: m, h: m.h, e: e, ord: ord, now: start,
 			lineMask:    m.lineMask,
 			issueScalar: m.l1HitCycles,
 			autoVec:     m.spec.AutoVecBytes > 0,
+			batch:       m.h.BatchLines(),
 		}
 	}
 	if n == 1 {

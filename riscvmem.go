@@ -92,7 +92,9 @@ func DeviceByName(name string) (Device, error) { return machine.ByName(name) }
 // Core.Touch) or line-granularly in bulk:
 //
 //   - Core.TouchRange charges n consecutive unit-stride accesses: one fused
-//     TLB+L1 lookup per cache line touched instead of per element.
+//     TLB+L1 lookup per cache line touched instead of per element, with
+//     whole-line stretches resolving through the batched miss pipeline
+//     (one hierarchy call per run; DESIGN.md §4.1).
 //   - Core.TouchSpans charges n interleaved accesses across several element
 //     streams (Span) plus fixed per-iteration cycle charges — the shape of
 //     real kernel loops (load b[i], load c[i], store a[i], flops).

@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
 # Record simulator throughput in BENCH_simthroughput.json so the perf
 # trajectory is tracked across PRs. Appends one record per run with the
-# current commit, date, ns/op of the two streaming benchmarks, the
-# batched-runner throughput — cold (every job simulates) vs cached (the
-# memoized Runner replays the identical 8-job batch with zero new
-# simulations) — and the service-layer request throughput (the same warm
-# 8-job batch as a full BatchRequest through the Service facade).
+# current commit, date, ns/op of the two single-core streaming benchmarks,
+# the multi-core ParallelRange streaming benchmark (engine-serialized
+# batched miss pipeline), the batched-runner throughput — cold (every job
+# simulates) vs cached (the memoized Runner replays the identical 8-job
+# batch with zero new simulations) — and the service-layer request
+# throughput (the same warm 8-job batch as a full BatchRequest through the
+# Service facade).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100000000x}"
+PRANGE_BENCHTIME="${PRANGE_BENCHTIME:-20000000x}"
 RUNNER_BENCHTIME="${RUNNER_BENCHTIME:-30x}"
 CACHED_BENCHTIME="${CACHED_BENCHTIME:-20000x}"
 OUT="BENCH_simthroughput.json"
 
 raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkTouchRangeThroughput$' \
     -benchtime "$BENCHTIME" -count "$COUNT" . | grep ns/op)
+rawprange=$(go test -run '^$' -bench 'BenchmarkParallelRangeThroughput$' \
+    -benchtime "$PRANGE_BENCHTIME" -count "$COUNT" . | grep ns/op)
 rawrunner=$(go test -run '^$' -bench 'BenchmarkRunnerBatch$' \
     -benchtime "$RUNNER_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
 rawcached=$(go test -run '^$' -bench 'BenchmarkRunnerBatchCached$' \
@@ -31,6 +36,7 @@ median() {
 
 legacy=$(median '^BenchmarkSimulatorThroughput' "$raw") \
 trange=$(median '^BenchmarkTouchRangeThroughput' "$raw") \
+prange=$(median '^BenchmarkParallelRangeThroughput' "$rawprange") \
 runner=$(median '^BenchmarkRunnerBatch(-|$)' "$rawrunner") \
 cached=$(median '^BenchmarkRunnerBatchCached' "$rawcached") \
 service=$(median '^BenchmarkServiceBatch' "$rawservice") \
@@ -46,6 +52,7 @@ record = {
     "commit": os.environ["commit"],
     "simulator_throughput_ns_per_op": float(os.environ["legacy"]),
     "touchrange_throughput_ns_per_op": float(os.environ["trange"]),
+    "parallelrange_throughput_ns_per_op": float(os.environ["prange"]),
     "runner_batch_ns_per_op": float(os.environ["runner"]),
     "runner_batch_cached_ns_per_op": float(os.environ["cached"]),
     "service_request_ns_per_op": float(os.environ["service"]),
@@ -67,6 +74,7 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
       f"touchrange={record['touchrange_throughput_ns_per_op']} ns/op, "
+      f"parallelrange={record['parallelrange_throughput_ns_per_op']} ns/op, "
       f"runner_batch={record['runner_batch_ns_per_op']} ns/batch, "
       f"runner_batch_cached={record['runner_batch_cached_ns_per_op']} ns/batch, "
       f"service_request={record['service_request_ns_per_op']} ns/req -> {out}")

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Collect CPU (and optionally heap) profiles of the simulator under a real
+# workload, so the next performance PR starts from data instead of guesswork.
+#
+# Usage:
+#   scripts/profile.sh                    # profile the TouchRange benchmark
+#   scripts/profile.sh bench [pattern]    # profile a benchmark (default Throughput)
+#   scripts/profile.sh stream [args...]   # profile cmd/stream (args forwarded)
+#   scripts/profile.sh sweep  [args...]   # profile cmd/sweep  (args forwarded)
+#
+# Profiles land in ./profiles/<mode>.{cpu,mem}.pprof; the script prints the
+# top CPU consumers and the `go tool pprof` line to dig further.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-bench}"
+[ "$#" -gt 0 ] && shift
+out="profiles"
+mkdir -p "$out"
+
+case "$mode" in
+bench)
+    pattern="${1:-TouchRangeThroughput}"
+    go test -run '^$' -bench "$pattern" -benchtime "${BENCHTIME:-100000000x}" \
+        -cpuprofile "$out/bench.cpu.pprof" -memprofile "$out/bench.mem.pprof" . >/dev/null
+    cpu="$out/bench.cpu.pprof"
+    ;;
+stream)
+    go run ./cmd/stream -cpuprofile "$out/stream.cpu.pprof" \
+        -memprofile "$out/stream.mem.pprof" "$@" >/dev/null
+    cpu="$out/stream.cpu.pprof"
+    ;;
+sweep)
+    # A default sweep that exercises the batched miss pipeline and the
+    # memoized runner; any explicit args replace it.
+    if [ "$#" -eq 0 ]; then
+        set -- -device MangoPi -axis maxinflight=1,2,4,8 \
+            -workloads 'stream:test=TRIAD,elems=65536; transpose:variant=Naive,n=512'
+    fi
+    go run ./cmd/sweep -cpuprofile "$out/sweep.cpu.pprof" \
+        -memprofile "$out/sweep.mem.pprof" "$@" >/dev/null
+    cpu="$out/sweep.cpu.pprof"
+    ;;
+*)
+    echo "profile.sh: unknown mode '$mode' (bench, stream, sweep)" >&2
+    exit 1
+    ;;
+esac
+
+echo "== top CPU consumers ($cpu) =="
+go tool pprof -top -nodecount=15 "$cpu" | tail -n +8
+echo
+echo "dig further: go tool pprof -http=: $cpu"

@@ -1,21 +1,27 @@
 // Command simd is the riscvmem daemon: a long-running HTTP server that
 // executes simulation workloads described as data. It fronts one shared
 // service.Service — a memoized, pooled runner — so identical cells across
-// requests simulate exactly once, with per-request timeouts and a bounded
-// in-flight admission limit.
+// requests simulate exactly once, with per-request timeouts, queued
+// admission with backpressure, optional per-client rate limits, an async
+// job API and graceful drain.
 //
 // Usage:
 //
-//	simd [-addr :8471] [-maxinflight 4] [-maxjobs 4096] [-parallelism 0]
-//	     [-timeout 60s] [-maxtimeout 5m]
+//	simd [-addr :8471] [-maxinflight 4] [-maxqueue 0] [-maxjobs 4096]
+//	     [-parallelism 0] [-timeout 60s] [-maxtimeout 5m] [-drain 30s]
+//	     [-jobttl 5m] [-clientrate 0] [-clientburst 0]
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness probe
-//	GET  /v1/devices    device presets
-//	GET  /v1/workloads  kernels, parameter grammar, sweep axes
-//	POST /v1/batch      {"devices":[...], "workloads":[...]} cross-product
-//	POST /v1/sweep      {"device":..., "axes":[...], "workloads":[...]}
+//	GET    /healthz        liveness probe (503 {"status":"draining"} during shutdown)
+//	GET    /v1/devices     device presets
+//	GET    /v1/workloads   kernels, parameter grammar, sweep axes
+//	POST   /v1/batch       {"devices":[...], "workloads":[...]} cross-product
+//	POST   /v1/sweep       {"device":..., "axes":[...], "workloads":[...]}
+//	POST   /v1/jobs        {"batch":{...}} or {"sweep":{...}} → 202, poll the ID
+//	GET    /v1/jobs        stored jobs, newest first
+//	GET    /v1/jobs/{id}   job status plus rows accumulated so far
+//	DELETE /v1/jobs/{id}   request cancellation
 //
 // Workloads may be given as grammar strings ("stream:test=TRIAD,elems=65536",
 // "transpose/Blocking") or as {"kernel":..., "params":{...}} objects:
@@ -24,6 +30,12 @@
 //	  "devices": ["MangoPi", "VisionFive"],
 //	  "workloads": ["transpose:variant=Naive,n=512", "stream/TRIAD"]
 //	}'
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 so load
+// balancers stop routing, no new work is admitted, and queued plus running
+// work — async jobs included — finishes inside the -drain budget. Work
+// still unfinished at the budget is cancelled and logged. A second signal
+// forces immediate exit.
 package main
 
 import (
@@ -42,19 +54,29 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8471", "listen address")
-	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing requests admitted; more fail with 429")
+	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing requests")
+	maxQueue := flag.Int("maxqueue", 0, "requests waiting for a slot before 429; 0 = 2×maxinflight, -1 disables queueing")
 	maxJobs := flag.Int("maxjobs", 4096, "maximum device×workload jobs per request")
 	parallelism := flag.Int("parallelism", 0, "runner worker goroutines; 0 = host CPU count")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request execution timeout; 0 = none")
 	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on request-supplied timeouts; 0 = none")
+	drainBudget := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before unfinished jobs are cancelled")
+	jobTTL := flag.Duration("jobttl", 5*time.Minute, "how long finished async jobs stay retrievable")
+	clientRate := flag.Float64("clientrate", 0, "per-client sustained requests/second (X-Client-ID); 0 disables rate limiting")
+	clientBurst := flag.Int("clientburst", 0, "per-client burst size; 0 = max(1, clientrate)")
 	flag.Parse()
 
 	svc := service.New(service.Options{
 		Parallelism:    *parallelism,
 		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
 		MaxJobs:        *maxJobs,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		JobTTL:         *jobTTL,
+		ClientRate:     *clientRate,
+		ClientBurst:    *clientBurst,
+		Logf:           log.Printf,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -63,8 +85,8 @@ func main() {
 		IdleTimeout:       120 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -75,14 +97,36 @@ func main() {
 	}()
 
 	select {
-	case <-ctx.Done():
-		log.Print("simd shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	case s := <-sig:
+		log.Printf("simd: %s received, draining (budget %s; signal again to force exit)", s, *drainBudget)
+		// Flip /healthz to 503 and stop admitting before anything else, so
+		// load balancers route away while admitted work finishes.
+		svc.StartDrain()
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainBudget)
+		drained := make(chan service.DrainReport, 1)
+		go func() { drained <- svc.Drain(drainCtx) }()
+		var rep service.DrainReport
+		select {
+		case rep = <-drained:
+		case s := <-sig:
+			log.Printf("simd: %s received again, forcing exit", s)
+			os.Exit(1)
+		}
+		cancelDrain()
+		if rep.Clean {
+			log.Printf("simd: drained clean in %s", rep.Waited.Round(time.Millisecond))
+		} else {
+			log.Printf("simd: drain budget expired after %s: %d job(s) abandoned, %d request(s) still executing",
+				rep.Waited.Round(time.Millisecond), len(rep.Abandoned), rep.InFlight)
+		}
+		// The service is drained; Shutdown only has idle connections left.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
 			os.Exit(1)
 		}
+		log.Print("simd: exit")
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)

@@ -1,7 +1,9 @@
 // Example client drives the simd service over HTTP: it discovers devices
 // and workloads, posts a batch request (twice, to show the shared memo
-// cache absorbing the repeat), and posts a sweep — everything a remote
-// consumer of the daemon does, expressed with the library's request types.
+// cache absorbing the repeat), posts a sweep, submits an async job and
+// polls it to completion, and hammers a deliberately tiny server to show
+// the retry discipline a production consumer needs — honoring Retry-After
+// on 429 with capped, jittered exponential backoff for everything else.
 //
 // By default it starts an in-process server on a loopback port, so
 //
@@ -18,9 +20,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"riscvmem"
@@ -31,16 +37,11 @@ func main() {
 	flag.Parse()
 
 	base := *addr
-	if base == "" {
+	selfContained := base == ""
+	if selfContained {
 		// Self-contained mode: serve the same handler cmd/simd uses on a
 		// loopback listener.
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		svc := riscvmem.NewService(riscvmem.ServiceOptions{DefaultTimeout: time.Minute})
-		go http.Serve(ln, riscvmem.NewServiceHandler(svc)) //nolint:errcheck // dies with the example
-		base = ln.Addr().String()
+		base = startServer(riscvmem.ServiceOptions{DefaultTimeout: time.Minute})
 		fmt.Printf("started in-process simd on %s\n\n", base)
 	}
 	url := "http://" + base
@@ -97,6 +98,81 @@ func main() {
 	for _, row := range resp.Results {
 		fmt.Printf("  %-16v %10.6fs  speedup %.3f×\n", row.Cell, row.Seconds, row.Speedup)
 	}
+
+	// The async job API: submit, get a 202 with an ID, poll until done.
+	// Long-running work survives the submitting connection, and rows stream
+	// into the status in completion order while it runs.
+	jobReq := riscvmem.ServiceJobRequest{Batch: &riscvmem.BatchRequest{
+		Devices: []string{"RaspberryPi4"},
+		Workloads: []riscvmem.WorkloadSpec{
+			riscvmem.MustParseWorkloadSpec("stream:test=COPY,elems=65536"),
+			riscvmem.MustParseWorkloadSpec("gblur:variant=Memory,w=256,h=256"),
+		},
+	}}
+	var job riscvmem.ServiceJobStatus
+	postJSON(url+"/v1/jobs", jobReq, &job)
+	fmt.Printf("\nsubmitted job %s (%d jobs)\n", job.ID, job.Total)
+	for !terminal(job.State) {
+		time.Sleep(50 * time.Millisecond)
+		getJSON(url+"/v1/jobs/"+job.ID, &job)
+		fmt.Printf("  poll: %-8s %d/%d rows\n", job.State, len(job.Rows), job.Total)
+	}
+	if job.State != riscvmem.JobDone {
+		log.Fatalf("job %s ended %s: %s", job.ID, job.State, job.Error)
+	}
+
+	// Backpressure and the retry discipline. Against a server with one
+	// execution slot and a two-deep queue, concurrent requests overflow into
+	// 429s carrying Retry-After — the client's job is to honor the hint
+	// instead of hammering. (Demonstrated on a dedicated tiny server so the
+	// numbers are deterministic-ish; -addr mode skips it.)
+	if selfContained {
+		tiny := "http://" + startServer(riscvmem.ServiceOptions{
+			MaxInFlight: 1, MaxQueue: 2, DefaultTimeout: time.Minute,
+		})
+		fmt.Printf("\nhammering a tiny server (MaxInFlight 1, MaxQueue 2) with 6 concurrent sweeps:\n")
+		var wg sync.WaitGroup
+		var retriesTotal, attempt429 int64
+		var mu sync.Mutex
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Distinct requests so the memo cache cannot absorb them.
+				req := riscvmem.SweepRequest{
+					Device:    "MangoPi",
+					Axes:      []string{fmt.Sprintf("dramlat=%d,%d", 100+i, 200+i)},
+					Workloads: []riscvmem.WorkloadSpec{riscvmem.MustParseWorkloadSpec("stream:test=SCALE,elems=65536")},
+				}
+				var out riscvmem.ServiceResponse
+				retries, rejected := postJSONRetry(tiny+"/v1/sweep", req, &out)
+				mu.Lock()
+				retriesTotal += int64(retries)
+				attempt429 += int64(rejected)
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		fmt.Printf("  all 6 completed: %d rejections (429), %d retries, zero failures\n",
+			attempt429, retriesTotal)
+	}
+}
+
+// terminal reports whether a job state is final.
+func terminal(st riscvmem.ServiceJobState) bool {
+	return st == riscvmem.JobDone || st == riscvmem.JobFailed || st == riscvmem.JobCancelled
+}
+
+// startServer serves the simd handler on a fresh loopback listener and
+// returns its address.
+func startServer(opt riscvmem.ServiceOptions) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := riscvmem.NewService(opt)
+	go http.Serve(ln, riscvmem.NewServiceHandler(svc)) //nolint:errcheck // dies with the example
+	return ln.Addr().String()
 }
 
 func getJSON(url string, dst any) {
@@ -123,10 +199,83 @@ func postJSON(url string, req, dst any) {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
 		log.Fatalf("POST %s: %s", url, resp.Status)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
 		log.Fatalf("POST %s: %v", url, err)
+	}
+}
+
+// Retry policy: how a production client should treat the daemon's
+// backpressure.
+const (
+	retryMax     = 10                     // attempts before giving up
+	backoffBase  = 100 * time.Millisecond // first exponential step
+	backoffCap   = 2 * time.Second        // exponential ceiling
+	retryAferCap = 5 * time.Second        // never honor a hint longer than this
+)
+
+// postJSONRetry posts with retries. A 429 honors the server's Retry-After
+// hint (capped); 5xx and transport errors use capped exponential backoff
+// with full jitter — random in [0, min(cap, base·2ⁿ)] — so a thundering
+// herd of clients spreads out instead of re-colliding. 4xx other than 429
+// never retries: the request itself is wrong. Returns the retry and
+// 429-rejection counts.
+func postJSONRetry(url string, req, dst any) (retries, rejected int) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for attempt := 0; ; attempt++ {
+		wait, ok := tryPost(url, body, dst)
+		if ok {
+			return attempt, rejected
+		}
+		if attempt+1 >= retryMax {
+			log.Fatalf("POST %s: gave up after %d attempts", url, retryMax)
+		}
+		if wait > 0 {
+			rejected++ // a 429 with the server's own hint
+			if wait > retryAferCap {
+				wait = retryAferCap
+			}
+		} else {
+			step := backoffBase << attempt
+			if step > backoffCap || step <= 0 {
+				step = backoffCap
+			}
+			wait = time.Duration(rand.Int63n(int64(step) + 1))
+		}
+		time.Sleep(wait)
+	}
+}
+
+// tryPost performs one attempt. ok means dst is filled; otherwise wait is
+// the server's Retry-After (0 when the attempt should use its own backoff).
+func tryPost(url string, body []byte, dst any) (wait time.Duration, ok bool) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false // transport error: backoff and retry
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			log.Fatalf("POST %s: %v", url, err)
+		}
+		return 0, true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		wait = time.Second
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		return wait, false
+	case resp.StatusCode >= 500:
+		return 0, false // server-side: backoff and retry
+	default:
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, msg)
+		return 0, false
 	}
 }

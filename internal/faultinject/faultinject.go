@@ -1,0 +1,41 @@
+// Package faultinject is the fault-injection harness behind the chaos test
+// suite: named injection points at the Runner/Service seams where a handler
+// can force a failure that is hard to provoke organically — a machine
+// construction that errors, an admission path that overflows — so the tests
+// can assert the system's invariants (no goroutine leaks, poisoned machines
+// never re-pooled, errors never cached, deadlines honored) under every
+// fault class, deterministically.
+//
+// The package has two builds:
+//
+//   - Default (no build tag): Fire is a no-op stub returning nil and
+//     Enabled is the constant false. The calls at the seams compile to
+//     nothing — the hooks are free in production binaries; the happy path
+//     pays zero cost for being injectable.
+//   - `-tags faultinject`: Fire consults a process-wide handler registry
+//     (Set/Clear/Reset) and counts activations (Fired). The chaos suites in
+//     internal/run and internal/service build only under this tag and run
+//     in CI with -race.
+//
+// Handlers inject failures at seams; the misbehaving *workloads* of the
+// fault taxonomy (panic, stall, slow, transient failure) need no seam —
+// they are ordinary Workload implementations, provided by the chaos
+// subpackage.
+package faultinject
+
+// Point names one injection seam. The set is small and deliberate: a seam
+// earns its place by guarding an invariant the chaos suite asserts.
+type Point string
+
+const (
+	// RunnerAcquire fires in run.Runner before a machine is acquired for a
+	// job; a handler error is reported as that job's acquire failure.
+	// Guards: acquire failures are per-job errors (the batch survives) and
+	// are never cached.
+	RunnerAcquire Point = "runner.acquire"
+	// ServiceAdmit fires in service.Service at request admission, before
+	// the slot/queue logic; a handler error fails admission with that
+	// error. Guards: transports map injected admission failures like real
+	// ones (429/503), and a failed admission leaks nothing.
+	ServiceAdmit Point = "service.admit"
+)

@@ -1,0 +1,62 @@
+// Package leakcheck provides the goroutine-leak assertion the robustness
+// and chaos suites wrap around cancellation, drain and fault-injection
+// tests: snapshot the goroutine count up front, and at test end poll until
+// the count returns to the baseline or a timeout expires — polling, because
+// legitimately finishing goroutines (an abandoned workload draining after
+// its release channel closes) need a moment to unwind.
+//
+// The check is count-based, not stack-based: cheap, dependency-free, and
+// precise enough when tests hold the baseline before spawning anything.
+// On failure it dumps all goroutine stacks so the leak is identifiable.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; taking the interface
+// keeps the testing package out of non-test import graphs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Check snapshots the current goroutine count and returns a function that
+// asserts the count has returned to (at most) the baseline, polling for up
+// to 5 seconds. Use it around the suspect region:
+//
+//	assert := leakcheck.Check(t)
+//	... run, cancel, drain ...
+//	assert()
+func Check(tb TB) func() {
+	tb.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		tb.Errorf("goroutine leak: %d goroutines, baseline %d\n%s", n, base, buf)
+	}
+}
+
+// Checked runs the check automatically at test cleanup — for tests whose
+// entire body is the suspect region.
+func Checked(tb TB) {
+	tb.Helper()
+	assert := Check(tb)
+	tb.Cleanup(assert)
+}

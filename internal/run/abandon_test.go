@@ -1,0 +1,94 @@
+package run_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"riscvmem/internal/faultinject/chaos"
+	"riscvmem/internal/leakcheck"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/run"
+)
+
+// TestAbandonStalledWorkload pins the deadline-honoring execution loop: a
+// workload that ignores its context entirely cannot hold the batch hostage
+// — the runner abandons the run at the deadline, reports a wrapped context
+// error, and never re-pools the machine the stray goroutine still owns.
+func TestAbandonStalledWorkload(t *testing.T) {
+	assertNoLeak := leakcheck.Check(t)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	w := chaos.Stall("stall-deaf", started, release, false /* ignore ctx */)
+
+	r := run.New(run.Options{Parallelism: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunOne(ctx, machine.MangoPiD1(), w)
+		done <- err
+	}()
+	<-started // the workload is definitely executing — entry checks passed
+	cancel()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner did not abandon a context-deaf workload")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want wrapped Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "abandoned") {
+		t.Errorf("error = %v, want an abandonment marker", err)
+	}
+	if got := r.Abandoned(); got != 1 {
+		t.Errorf("Abandoned() = %d, want 1", got)
+	}
+	// The stray goroutine still owns the machine: it must never return to
+	// the pool, before or after the workload finally unblocks.
+	if n := r.PoolSize(); n != 0 {
+		t.Errorf("PoolSize() = %d immediately after abandonment, want 0", n)
+	}
+	close(release)
+	assertNoLeak() // polls: the abandoned goroutine drains once released
+	if n := r.PoolSize(); n != 0 {
+		t.Errorf("PoolSize() = %d after the abandoned run finished, want 0 (poisoned)", n)
+	}
+
+	// The runner still works: the next job on the same device constructs a
+	// fresh machine.
+	res, err := r.RunOne(context.Background(), machine.MangoPiD1(), chaos.Slow("quick", 0))
+	if err != nil || res.Workload != "quick" {
+		t.Fatalf("post-abandonment run: %v %+v", err, res)
+	}
+}
+
+// TestAbandonCooperativeWorkloadStillClean: a workload that honors ctx is
+// cancelled, not abandoned — the error is the bare skip/cancel path and no
+// machine is poisoned beyond the one in flight.
+func TestAbandonCooperativeWorkload(t *testing.T) {
+	assertNoLeak := leakcheck.Check(t)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	w := chaos.Stall("stall-polite", started, release, true /* honor ctx */)
+
+	r := run.New(run.Options{Parallelism: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunOne(ctx, machine.MangoPiD1(), w)
+		done <- err
+	}()
+	<-started
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want Canceled", err)
+	}
+	assertNoLeak()
+}

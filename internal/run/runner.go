@@ -9,7 +9,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"riscvmem/internal/faultinject"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/sim"
 )
@@ -73,14 +75,22 @@ type Runner struct {
 	// identical cell always hashes to the same shard, which preserves the
 	// per-key singleflight. Counters are atomics for the same reason — a
 	// cache hit previously re-took the runner lock just to count itself.
-	cache  [cacheShards]cacheShard
-	seed   maphash.Seed
-	hits   atomic.Uint64 // results served without a new simulation
-	misses atomic.Uint64 // simulations actually executed for keyed jobs
+	cache     [cacheShards]cacheShard
+	seed      maphash.Seed
+	hits      atomic.Uint64 // results served without a new simulation
+	misses    atomic.Uint64 // simulations actually executed for keyed jobs
+	abandoned atomic.Uint64 // runs left behind by an expired job context
 }
 
 // cacheShards is the result-cache shard count; a power of two.
 const cacheShards = 16
+
+// abandonGrace is how long a cancelled job waits for its workload to
+// return on its own before the run is abandoned (and its machine
+// poisoned). Long enough for a cooperative workload to observe ctx.Done
+// and unwind; short enough that a context-deaf stall cannot hold a batch
+// hostage.
+const abandonGrace = 2 * time.Millisecond
 
 type cacheShard struct {
 	mu sync.Mutex
@@ -134,9 +144,31 @@ func (r *Runner) CacheStats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
 }
 
+// Abandoned reports how many workload runs were left behind by an expired
+// or cancelled job context (see simulate). Each one may pin a goroutine
+// until its workload returns; the count is the observability hook for leak
+// assertions and daemon metrics.
+func (r *Runner) Abandoned() uint64 { return r.abandoned.Load() }
+
+// PoolSize reports the idle machines currently pooled across all device
+// identities. The chaos suite uses it to pin the poisoning invariant:
+// machines whose workload panicked or was abandoned never come back.
+func (r *Runner) PoolSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ms := range r.pool {
+		n += len(ms)
+	}
+	return n
+}
+
 // acquire pops an idle machine for the device identity, resetting it to
 // power-on, or constructs one when the pool is empty.
 func (r *Runner) acquire(spec machine.Spec, key any) (*sim.Machine, error) {
+	if err := faultinject.Fire(faultinject.RunnerAcquire); err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	if ms := r.pool[key]; len(ms) > 0 {
 		m := ms[len(ms)-1]
@@ -218,20 +250,57 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	}
 }
 
-// simulate executes one job on a pooled machine.
+// simOutcome is one finished (or aborted) workload execution.
+type simOutcome struct {
+	res      Result
+	panicked bool
+	err      error
+}
+
+// simulate executes one job on a pooled machine, honoring the job context:
+// the workload runs on its own goroutine and simulate returns the moment
+// ctx ends, even when the workload ignores cancellation. An abandoned run's
+// machine is poisoned — the workload may still be mutating it — so it is
+// never re-pooled; the stray goroutine drops it for the GC when the
+// workload finally returns. (Go cannot preempt the computation itself: a
+// workload that stalls forever pins one goroutine until process exit — see
+// the fault taxonomy in DESIGN.md §9.)
 func (r *Runner) simulate(ctx context.Context, job Job, devID any) (Result, error) {
 	m, err := r.acquire(job.Device, devID)
 	if err != nil {
 		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
 	}
-	res, panicked, err := runWorkload(ctx, job.Workload, m)
-	if panicked {
+	outc := make(chan simOutcome, 1) // buffered: an abandoned run must not block on send
+	go func() {
+		var out simOutcome
+		out.res, out.panicked, out.err = runWorkload(ctx, job.Workload, m)
+		outc <- out
+	}()
+	var out simOutcome
+	select {
+	case out = <-outc:
+	case <-ctx.Done():
+		// Give a cooperative workload a moment to deliver its own
+		// cancellation outcome — then its machine stays poolable. Only a
+		// workload that truly ignores cancellation is abandoned.
+		grace := time.NewTimer(abandonGrace)
+		select {
+		case out = <-outc:
+			grace.Stop()
+		case <-grace.C:
+			r.abandoned.Add(1)
+			return Result{}, fmt.Errorf("%s on %s: abandoned: %w",
+				job.Workload.Name(), job.Device.Name, ctx.Err())
+		}
+	}
+	if out.panicked {
 		// The panic may have fired mid-update deep inside the simulator,
 		// leaving the machine in an arbitrary partial state; discard it
 		// rather than re-pool it. The panic itself becomes a per-job error
 		// so the rest of the batch survives.
-		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, err)
+		return Result{}, fmt.Errorf("%s on %s: %w", job.Workload.Name(), job.Device.Name, out.err)
 	}
+	res, err := out.res, out.err
 	if err == nil && res.Mem == (sim.Summary{}) {
 		// Custom workloads rarely snapshot the counters themselves; the
 		// runner owns the machine, so fill them in (a no-op for runs with
@@ -282,11 +351,27 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, joinBatchErrors(errs)
 }
 
+// RunWithProgress is Run with a per-call progress hook (see
+// RunAllWithProgress).
+func (r *Runner) RunWithProgress(ctx context.Context, jobs []Job, onProgress func(Progress)) ([]Result, error) {
+	results, errs := r.RunAllWithProgress(ctx, jobs, onProgress)
+	return results, joinBatchErrors(errs)
+}
+
 // RunAll is Run with per-job error visibility: errs[i] is nil exactly when
 // results[i] is valid. Transports that report job outcomes individually
 // (the service layer) use this; Run wraps it with the joined-error
 // convention for in-process callers.
 func (r *Runner) RunAll(ctx context.Context, jobs []Job) (results []Result, errs []error) {
+	return r.RunAllWithProgress(ctx, jobs, nil)
+}
+
+// RunAllWithProgress is RunAll with a per-call progress hook, for callers
+// that need batch-scoped progress on a shared Runner (the service's async
+// job store streams rows through it). A nil onProgress falls back to the
+// Runner-level Options.OnProgress; like it, the hook is called serially, in
+// completion order.
+func (r *Runner) RunAllWithProgress(ctx context.Context, jobs []Job, onProgress func(Progress)) (results []Result, errs []error) {
 	results = make([]Result, len(jobs))
 	errs = make([]error, len(jobs))
 
@@ -298,15 +383,18 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job) (results []Result, errs
 		workers = len(jobs)
 	}
 
+	if onProgress == nil {
+		onProgress = r.opt.OnProgress
+	}
 	var progressMu sync.Mutex
 	done := 0
 	report := func(i int) {
-		if r.opt.OnProgress == nil {
+		if onProgress == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		r.opt.OnProgress(Progress{
+		onProgress(Progress{
 			Done: done, Total: len(jobs), Index: i,
 			Job: jobs[i], Result: results[i], Err: errs[i],
 		})

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// DrainReport is the outcome of one Drain call.
+type DrainReport struct {
+	// Clean reports that every admitted request and async job finished
+	// inside the budget.
+	Clean bool `json:"clean"`
+	// Waited is how long the drain took.
+	Waited time.Duration `json:"waited_ns"`
+	// Abandoned lists the async jobs cancelled at budget expiry (their
+	// snapshots as of abandonment, rows elided).
+	Abandoned []JobStatus `json:"abandoned,omitempty"`
+	// InFlight counts execution slots still occupied at budget expiry —
+	// synchronous requests or abandoned jobs whose workloads have not yet
+	// observed cancellation.
+	InFlight int `json:"in_flight"`
+}
+
+// StartDrain flips the service into draining mode: Batch, Sweep and
+// SubmitJob fail with ErrDraining from here on (transports map it to 503,
+// and the HTTP health endpoint reports "draining"), while queued and
+// running work — including queued async jobs still waiting for a slot —
+// proceeds normally. Idempotent; reports whether this call flipped the
+// state.
+func (s *Service) StartDrain() bool { return s.draining.CompareAndSwap(false, true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain flips the service into draining mode (if StartDrain has not run
+// already) and waits for all admitted work to finish: execution slots
+// empty, admission queue empty, no live async jobs. When ctx expires
+// first, every remaining async job is cancelled — its workload abandoned
+// at the runner if it ignores cancellation — and reported in the
+// DrainReport; synchronous requests past admission cannot be revoked, so
+// they are only counted.
+//
+// The drained state is permanent: a Service does not resume admission.
+func (s *Service) Drain(ctx context.Context) DrainReport {
+	s.StartDrain()
+	start := time.Now()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.idle() {
+			return DrainReport{Clean: true, Waited: time.Since(start)}
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			rep := DrainReport{Waited: time.Since(start), InFlight: len(s.sem)}
+			for _, js := range s.Jobs() {
+				if !js.State.terminal() {
+					if snap, ok := s.CancelJob(js.ID); ok {
+						rep.Abandoned = append(rep.Abandoned, snap)
+						s.logf("service: drain budget expired, abandoning job %s (%s, %d/%d done)",
+							snap.ID, snap.Kind, snap.Done, snap.Total)
+					}
+				}
+			}
+			if rep.InFlight > 0 {
+				s.logf("service: drain budget expired with %d request(s) still executing", rep.InFlight)
+			}
+			return rep
+		}
+	}
+}
+
+// idle reports that nothing is executing, queued, or live in the job
+// store. len on the slot channel is a point-in-time read — exact once
+// admission is closed (draining) and all entry points have returned.
+func (s *Service) idle() bool {
+	return len(s.sem) == 0 && s.queued.Load() == 0 && s.activeJobs() == 0
+}

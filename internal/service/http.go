@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // maxBodyBytes bounds request bodies; a batch request is a few KB even at
@@ -14,94 +17,171 @@ const maxBodyBytes = 1 << 20
 
 // NewHandler fronts a Service with HTTP — the simd wire protocol:
 //
-//	GET  /healthz       liveness: {"status":"ok"}
-//	GET  /v1/devices    device presets
-//	GET  /v1/workloads  kernels, params, registered workloads, sweep axes
-//	POST /v1/batch      BatchRequest → Response
-//	POST /v1/sweep      SweepRequest → Response
+//	GET    /healthz        liveness: {"status":"ok"}, or 503 {"status":"draining"}
+//	GET    /v1/devices     device presets
+//	GET    /v1/workloads   kernels, params, registered workloads, sweep axes
+//	POST   /v1/batch       BatchRequest → Response (synchronous)
+//	POST   /v1/sweep       SweepRequest → Response (synchronous)
+//	POST   /v1/jobs        JobRequest → 202 JobStatus (async; poll the ID)
+//	GET    /v1/jobs        stored jobs, newest first (rows elided)
+//	GET    /v1/jobs/{id}   JobStatus: state plus rows accumulated so far
+//	DELETE /v1/jobs/{id}   request cancellation; returns the snapshot
 //
-// Request and response bodies are JSON. Errors are {"error": "..."} with
-// 400 for malformed or unresolvable requests, 429 when the service's
-// admission limit is reached, 504 when the request's own deadline expired,
-// and 500 when a validated sweep failed during execution (batch execution
-// failures are per-row partial results, not errors). The handler is
-// stateless; all shared
-// state (machine pool, memo cache, admission slots) lives in the Service,
-// so multiple handlers (or transports) can front one Service.
+// Request and response bodies are JSON. Errors are {"error": "..."}:
+// 400 for malformed or unresolvable requests (ValidationError), 429 with a
+// Retry-After header when the admission queue or the client's rate limit
+// is exhausted, 503 while draining, 504 when the request's own deadline
+// expired, 500 for server-side execution failures and anything
+// unclassified. Per-client rate limiting keys on the X-Client-ID header,
+// falling back to the remote host.
+//
+// The handler is stateless; all shared state (machine pool, memo cache,
+// admission slots, job store) lives in the Service, so multiple handlers
+// (or transports) can front one Service.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		if s.Draining() {
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Devices())
+		s.writeJSON(w, http.StatusOK, s.Devices())
 	})
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Workloads())
+		s.writeJSON(w, http.StatusOK, s.Workloads())
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
-		if !readJSON(w, r, &req) {
+		if !s.readJSON(w, r, &req) {
 			return
 		}
-		resp, err := s.Batch(r.Context(), req)
+		resp, err := s.Batch(clientCtx(r), req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var req SweepRequest
-		if !readJSON(w, r, &req) {
+		if !s.readJSON(w, r, &req) {
 			return
 		}
-		resp, err := s.Sweep(r.Context(), req)
+		resp, err := s.Sweep(clientCtx(r), req)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if !s.readJSON(w, r, &req) {
+			return
+		}
+		js, err := s.SubmitJob(clientCtx(r), req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+js.ID)
+		s.writeJSON(w, http.StatusAccepted, js)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		js, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, js)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		js, ok := s.CancelJob(r.PathValue("id"))
+		if !ok {
+			s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, js)
 	})
 	return mux
 }
 
+// clientCtx tags the request context with the caller's identity for rate
+// limiting: the X-Client-ID header when present, else the remote host.
+func clientCtx(r *http.Request) context.Context {
+	id := r.Header.Get("X-Client-ID")
+	if id == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			id = host
+		} else {
+			id = r.RemoteAddr
+		}
+	}
+	return WithClientID(r.Context(), id)
+}
+
 // readJSON decodes the request body, rejecting trailing garbage and
 // unknown fields so typos ("workload" for "workloads") fail loudly.
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *Service) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeJSON(w, http.StatusBadRequest,
+		s.writeJSON(w, http.StatusBadRequest,
 			map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
 	if dec.More() {
-		writeJSON(w, http.StatusBadRequest,
+		s.writeJSON(w, http.StatusBadRequest,
 			map[string]string{"error": "bad request body: trailing data after JSON value"})
 		return false
 	}
 	return true
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	var exec *ExecutionError
+// writeError maps service errors onto the status taxonomy. Only explicitly
+// classified client mistakes earn a 4xx; anything unrecognized is a 500 —
+// an unexpected server-side failure must not be blamed on the request.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var (
+		valErr  *ValidationError
+		overErr *OverloadError
+	)
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.As(err, &valErr):
+		status = http.StatusBadRequest
+	case errors.As(err, &overErr):
 		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((overErr.RetryAfter+time.Second-1)/time.Second)))
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrRateLimited):
+		// Unwrapped sentinels (in-process callers constructing their own).
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
-	case errors.As(err, &exec):
-		status = http.StatusInternalServerError
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a JSON response. Encode failures past the status line
+// cannot reach the client anymore, but they must not vanish: they are the
+// only trace of a torn response (marshalling bug, dead connection).
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is gone; nothing left to report to
+	if err := enc.Encode(v); err != nil {
+		s.logf("service: writing %d response: %v", status, err)
+	}
 }

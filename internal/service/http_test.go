@@ -2,12 +2,15 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestHTTPEndpoints drives the full wire protocol through a live listener:
@@ -155,13 +158,13 @@ func TestHTTPSweepExecutionFailure(t *testing.T) {
 	}
 }
 
-// TestHTTPOverload maps ErrOverloaded to 429.
+// TestHTTPOverload maps ErrOverloaded to 429 with a Retry-After hint.
 func TestHTTPOverload(t *testing.T) {
-	svc := New(Options{MaxInFlight: 1})
+	svc := New(Options{MaxInFlight: 1, MaxQueue: -1}) // no queue: saturation 429s
 	ts := httptest.NewServer(NewHandler(svc))
 	defer ts.Close()
 
-	release, err := svc.admit() // occupy the only slot directly
+	release, err := svc.admit(context.Background()) // occupy the only slot directly
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,5 +179,141 @@ func TestHTTPOverload(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		body, _ := io.ReadAll(resp.Body)
 		t.Fatalf("overloaded POST: %d %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+}
+
+// TestHTTPJobs drives the async job API over the wire: submit → 202 with a
+// Location to poll → done with rows → list → cancel semantics and 404s.
+func TestHTTPJobs(t *testing.T) {
+	svc := New(Options{})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{
+		"batch": {"devices": ["MangoPi"], "workloads": ["stream:test=COPY,elems=1024,reps=1"]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s, want 202", resp.StatusCode, body)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(body, &js); err != nil || js.ID == "" {
+		t.Fatalf("submit payload: %v %s", err, body)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != "/v1/jobs/"+js.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, js.ID)
+	}
+
+	// Poll the Location to completion.
+	deadline := time.Now().Add(5 * time.Second)
+	for !js.State.terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", js.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err = client.Get(ts.URL + loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		js = JobStatus{}
+		if err := json.Unmarshal(body, &js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if js.State != JobDone || len(js.Rows) != 1 || js.Response == nil {
+		t.Fatalf("final job: %+v", js)
+	}
+
+	// Listing includes it (rows elided on the wire too).
+	resp, err = client.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var list []JobStatus
+	if err := json.Unmarshal(body, &list); err != nil || len(list) != 1 || len(list[0].Rows) != 0 {
+		t.Fatalf("list: %v %s", err, body)
+	}
+
+	// DELETE on a finished job returns its snapshot unchanged; unknown IDs
+	// are 404 on both GET and DELETE.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+loc, nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("DELETE finished job: %d, want 200", resp.StatusCode)
+	}
+	for _, method := range []string{http.MethodGet, http.MethodDelete} {
+		req, _ := http.NewRequest(method, ts.URL+"/v1/jobs/deadbeef00000000", nil)
+		resp, err = client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s unknown job: %d, want 404", method, resp.StatusCode)
+		}
+	}
+
+	// A submit that fails validation is a synchronous 400 — no job stored.
+	resp, err = client.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"batch": {"devices": ["Atari"], "workloads": ["stream/TRIAD"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid submit: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPErrorClassification pins writeError's status taxonomy directly:
+// only explicitly classified client mistakes earn a 4xx; an unexpected
+// server-side failure is a 500, never blamed on the request as a 400.
+func TestHTTPErrorClassification(t *testing.T) {
+	svc := New(Options{})
+	cases := []struct {
+		err        error
+		status     int
+		retryAfter bool
+	}{
+		{&ValidationError{Err: errors.New("bad spec")}, http.StatusBadRequest, false},
+		{&OverloadError{RetryAfter: 3 * time.Second, reason: ErrOverloaded}, http.StatusTooManyRequests, true},
+		{&OverloadError{RetryAfter: time.Second, reason: ErrRateLimited}, http.StatusTooManyRequests, true},
+		{ErrDraining, http.StatusServiceUnavailable, false},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, false},
+		{&ExecutionError{Err: errors.New("sim blew up")}, http.StatusInternalServerError, false},
+		{errors.New("unclassified surprise"), http.StatusInternalServerError, false},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		svc.writeError(rec, tc.err)
+		if rec.Code != tc.status {
+			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.status)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.retryAfter {
+			t.Errorf("writeError(%v) Retry-After present=%v, want %v", tc.err, got, tc.retryAfter)
+		}
+		if rec.Header().Get("X-Content-Type-Options") != "nosniff" {
+			t.Errorf("writeError(%v) missing nosniff header", tc.err)
+		}
 	}
 }

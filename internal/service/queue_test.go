@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"riscvmem/internal/leakcheck"
+	"riscvmem/internal/run"
+)
+
+// waitFor polls cond for up to 2 seconds — the test-side synchronization
+// for states (queue depth, job state) the service transitions through
+// asynchronously.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueuedAdmission pins the wait-queue mechanics directly on admit: a
+// request arriving at saturation queues instead of failing, is admitted
+// when the slot frees, and only a full queue fails fast with a Retry-After
+// hint.
+func TestQueuedAdmission(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := New(Options{MaxInFlight: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	release1, err := svc.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second admission: queues.
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, err := svc.admit(ctx)
+		if err != nil {
+			t.Errorf("queued admit: %v", err)
+		}
+		admitted <- rel
+	}()
+	waitFor(t, "request to queue", func() bool { return svc.queued.Load() == 1 })
+
+	// Third admission: queue full → fail fast, with a hint.
+	_, err = svc.admit(ctx)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full admit error = %v, want ErrOverloaded", err)
+	}
+	var over *OverloadError
+	if !errors.As(err, &over) || over.RetryAfter <= 0 {
+		t.Errorf("queue-full error = %#v, want an OverloadError with RetryAfter > 0", err)
+	}
+
+	// Releasing the slot admits the queued request.
+	release1()
+	select {
+	case rel := <-admitted:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request was not admitted after release")
+	}
+	if n := svc.queued.Load(); n != 0 {
+		t.Errorf("queued = %d after drain, want 0", n)
+	}
+}
+
+// TestQueueWaitHonorsDeadline: a queued request waits at most its own
+// deadline, leaves the queue on expiry, and reports the context error.
+func TestQueueWaitHonorsDeadline(t *testing.T) {
+	defer leakcheck.Check(t)()
+	svc := New(Options{MaxInFlight: 1, MaxQueue: 4})
+	release, err := svc.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := svc.admit(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired queue wait error = %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("queue wait took %v past a 30ms deadline", waited)
+	}
+	if n := svc.queued.Load(); n != 0 {
+		t.Errorf("queued = %d after deadline expiry, want 0", n)
+	}
+}
+
+// TestQueuedBatchCompletes drives the queue end-to-end through Batch: a
+// request arriving at saturation completes normally once the slot frees —
+// the PR-4 behavior (immediate 429) is now opt-in via MaxQueue -1.
+func TestQueuedBatchCompletes(t *testing.T) {
+	name, started, release := armSlow()
+	svc := New(Options{MaxInFlight: 1, MaxQueue: 2})
+	ctx := context.Background()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := svc.Batch(ctx, BatchRequest{
+			Devices:   []string{"MangoPi"},
+			Workloads: []run.WorkloadSpec{{Kernel: name}},
+		})
+		first <- err
+	}()
+	<-started // the slow request holds the only slot
+
+	second := make(chan error, 1)
+	go func() {
+		_, err := svc.Batch(ctx, BatchRequest{
+			Devices:   []string{"MangoPi"},
+			Workloads: []run.WorkloadSpec{run.MustParseWorkloadSpec("stream:test=COPY,elems=1024,reps=1")},
+		})
+		second <- err
+	}()
+	waitFor(t, "second request to queue", func() bool { return svc.queued.Load() == 1 })
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Errorf("first request: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Errorf("queued request: %v", err)
+	}
+}
+
+// TestRetryAfterHint pins the hint derivation: 1s with no latency history,
+// scaled by observed latency and backlog waves once there is, clamped to
+// [1s, 5m].
+func TestRetryAfterHint(t *testing.T) {
+	svc := New(Options{MaxInFlight: 2})
+	if got := svc.retryAfter(); got != time.Second {
+		t.Errorf("no-history hint = %v, want 1s", got)
+	}
+	svc.observeLatency(10 * time.Second)
+	// Empty queue: one wave of in-flight work must drain.
+	if got := svc.retryAfter(); got != 10*time.Second {
+		t.Errorf("one-wave hint = %v, want 10s", got)
+	}
+	svc.queued.Store(4) // 4 queued + 2 in flight = 3 waves of 2
+	if got := svc.retryAfter(); got != 30*time.Second {
+		t.Errorf("backlog hint = %v, want 30s", got)
+	}
+	svc.queued.Store(0)
+	svc.observeLatency(time.Hour) // EWMA jumps, then clamps
+	if got := svc.retryAfter(); got != 5*time.Minute {
+		t.Errorf("clamped hint = %v, want 5m", got)
+	}
+	svc.latencyNS.Store(int64(time.Microsecond))
+	if got := svc.retryAfter(); got != time.Second {
+		t.Errorf("floor hint = %v, want 1s", got)
+	}
+}
+
+// TestClientRateLimit pins per-client token buckets: a client exhausting
+// its burst is refused with ErrRateLimited and a whole-second Retry-After,
+// while other clients' buckets are untouched.
+func TestClientRateLimit(t *testing.T) {
+	svc := New(Options{ClientRate: 0.01, ClientBurst: 2})
+	req := BatchRequest{
+		Devices:   []string{"MangoPi"},
+		Workloads: []run.WorkloadSpec{run.MustParseWorkloadSpec("stream:test=COPY,elems=1024,reps=1")},
+	}
+	alice := WithClientID(context.Background(), "alice")
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Batch(alice, req); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	_, err := svc.Batch(alice, req)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst-exhausted error = %v, want ErrRateLimited", err)
+	}
+	var over *OverloadError
+	if !errors.As(err, &over) || over.RetryAfter < time.Second {
+		t.Errorf("rate-limit error = %#v, want RetryAfter ≥ 1s", err)
+	}
+	// A different client is unaffected; so is the anonymous bucket.
+	if _, err := svc.Batch(WithClientID(context.Background(), "bob"), req); err != nil {
+		t.Errorf("other client refused: %v", err)
+	}
+	if _, err := svc.Batch(context.Background(), req); err != nil {
+		t.Errorf("anonymous client refused: %v", err)
+	}
+}
+
+// TestLimiterRefill pins the bucket arithmetic without wall-clock sleeps at
+// the limiter level: tokens refill at rate, cap at burst, and the refusal
+// wait matches the deficit.
+func TestLimiterRefill(t *testing.T) {
+	l := newLimiter(10, 1) // 10 tokens/s, burst 1
+	if _, ok := l.take("c"); !ok {
+		t.Fatal("first take refused")
+	}
+	wait, ok := l.take("c")
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait < time.Second {
+		t.Errorf("wait = %v, want ≥ 1s (whole-second floor)", wait)
+	}
+	// Backdate the bucket: 100ms at 10/s refills the single token.
+	l.mu.Lock()
+	l.buckets["c"].last = time.Now().Add(-150 * time.Millisecond)
+	l.mu.Unlock()
+	if _, ok := l.take("c"); !ok {
+		t.Error("refilled bucket refused a token")
+	}
+	// Refill caps at burst: a long-idle bucket grants exactly burst takes.
+	l.mu.Lock()
+	l.buckets["c"].last = time.Now().Add(-time.Hour)
+	l.mu.Unlock()
+	if _, ok := l.take("c"); !ok {
+		t.Error("idle bucket refused its burst")
+	}
+	if _, ok := l.take("c"); ok {
+		t.Error("burst-1 bucket granted two back-to-back tokens")
+	}
+}

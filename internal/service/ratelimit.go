@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// clientIDKey carries the caller's client identity through the context.
+type clientIDKey struct{}
+
+// WithClientID tags ctx with the caller's client identity for per-client
+// rate limiting. Transports set it from their own notion of a caller — the
+// HTTP handler uses the X-Client-ID header, falling back to the remote
+// host. An untagged context falls under the shared "anonymous" bucket.
+func WithClientID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, clientIDKey{}, id)
+}
+
+// ClientID extracts the client identity set by WithClientID.
+func ClientID(ctx context.Context) string {
+	if id, ok := ctx.Value(clientIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
+// limiter is a per-client token-bucket rate limiter. Each client ID owns a
+// bucket of burst tokens refilled at rate tokens/second; a request takes
+// one token or is refused with the time until one refills.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiterGCThreshold is the bucket-count high-water mark that triggers a
+// sweep of full (idle) buckets — a full bucket carries no history worth
+// keeping, so dropping it is invisible to its client.
+const limiterGCThreshold = 1024
+
+func newLimiter(rate float64, burst int) *limiter {
+	b := float64(burst)
+	if burst <= 0 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
+}
+
+// take spends one token from id's bucket. When the bucket is empty it
+// reports false and how long until a token refills.
+func (l *limiter) take(id string) (retryAfter time.Duration, ok bool) {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.buckets[id]
+	if bk == nil {
+		if len(l.buckets) >= limiterGCThreshold {
+			l.gcLocked()
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[id] = bk
+	} else {
+		bk.tokens += now.Sub(bk.last).Seconds() * l.rate
+		if bk.tokens > l.burst {
+			bk.tokens = l.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - bk.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After granularity is whole seconds
+	}
+	return wait, false
+}
+
+// gcLocked drops buckets that have refilled completely — idle clients whose
+// next request would start from a full bucket anyway.
+func (l *limiter) gcLocked() {
+	now := time.Now()
+	for id, bk := range l.buckets {
+		if bk.tokens+now.Sub(bk.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}

@@ -4,13 +4,18 @@
 // types on the wire.
 //
 // A Service wraps one memoized, pooled run.Runner shared by every request —
-// so identical cells across requests simulate exactly once — and adds the
-// two things a long-running daemon needs that a library call does not:
-// per-request timeouts and a bounded in-flight admission limit (requests
-// beyond the bound fail fast with ErrOverloaded instead of queueing without
-// limit). cmd/simd fronts a Service with HTTP (see NewHandler); other
-// transports (RPC, queues, tests) call Batch/Sweep directly with the same
-// request values.
+// so identical cells across requests simulate exactly once — and adds what
+// a long-running daemon needs that a library call does not: per-request
+// timeouts, admission control (a bounded in-flight limit fronted by a
+// bounded wait queue — requests wait for a slot up to their own deadline,
+// and only a full queue fails fast with ErrOverloaded), per-client token-
+// bucket rate limits, an async job lifecycle (SubmitJob/Job/CancelJob, see
+// jobs.go) and graceful drain (StartDrain/Drain, see drain.go). cmd/simd
+// fronts a Service with HTTP (see NewHandler); other transports (RPC,
+// queues, tests) call Batch/Sweep directly with the same request values.
+//
+// The admit → queue → run → drain state machine and the full failure
+// taxonomy are documented in DESIGN.md §9.
 //
 // Results served through a Service are bit-identical to direct Runner calls
 // with the same configuration — the facade adds admission and encoding, not
@@ -22,17 +27,67 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"riscvmem/internal/faultinject"
 	"riscvmem/internal/machine"
 	"riscvmem/internal/run"
 	"riscvmem/internal/sweep"
 )
 
 // ErrOverloaded is returned when a request arrives while MaxInFlight
-// requests are already executing. Transports should map it to their
-// "try again later" signal (HTTP 429).
+// requests are executing AND the wait queue is full. Transports should map
+// it to their "try again later" signal (HTTP 429); the wrapping
+// OverloadError carries a Retry-After hint.
 var ErrOverloaded = errors.New("service: too many requests in flight")
+
+// ErrRateLimited is returned when a client exceeds its per-client request
+// rate (HTTP 429, with a Retry-After from the bucket's refill time).
+var ErrRateLimited = errors.New("service: client rate limit exceeded")
+
+// ErrDraining is returned when the service has stopped admitting new work
+// because it is shutting down (HTTP 503). Already-queued and running work
+// still completes inside the drain budget.
+var ErrDraining = errors.New("service: draining, not admitting new work")
+
+// OverloadError wraps ErrOverloaded or ErrRateLimited with a hint for when
+// retrying is likely to succeed. errors.Is still matches the wrapped
+// sentinel.
+type OverloadError struct {
+	// RetryAfter estimates when capacity frees: for a full queue it is
+	// derived from the observed request latency and the backlog depth, for
+	// a rate limit from the bucket's refill time.
+	RetryAfter time.Duration
+	reason     error
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.reason, e.RetryAfter.Round(time.Millisecond))
+}
+func (e *OverloadError) Unwrap() error { return e.reason }
+
+// ValidationError marks a request the caller could fix: unknown devices or
+// kernels, malformed specs, missing workloads, an oversized cross-product.
+// Transports report it as the client's fault (HTTP 400); anything not
+// explicitly classified is a server-side failure (HTTP 500).
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// invalidf builds a ValidationError from a format string.
+func invalidf(format string, args ...any) error {
+	return &ValidationError{Err: fmt.Errorf(format, args...)}
+}
+
+// invalid wraps an error as a ValidationError (nil stays nil).
+func invalid(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ValidationError{Err: err}
+}
 
 // ExecutionError marks a failure that occurred while running an already
 // validated request — the sweep path aborts wholesale on any job error
@@ -54,18 +109,43 @@ type Options struct {
 	// Parallelism is forwarded to the Runner built when Runner is nil;
 	// 0 defaults to the host CPU count.
 	Parallelism int
-	// MaxInFlight bounds concurrently executing requests; further requests
-	// fail immediately with ErrOverloaded. 0 → 4.
+	// MaxInFlight bounds concurrently executing requests. 0 → 4.
 	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; a waiting
+	// request is admitted when a slot frees or fails when its own deadline
+	// expires first. Only when the queue itself is full does admission fail
+	// fast with ErrOverloaded. 0 → 2×MaxInFlight; -1 disables queueing
+	// (PR-4-style fail-fast admission).
+	MaxQueue int
 	// MaxJobs bounds the device × workload (or cell × workload) size of a
 	// single request. 0 → 4096.
 	MaxJobs int
 	// DefaultTimeout applies to requests that carry no timeout of their
-	// own; 0 means no default timeout.
+	// own; 0 means no default timeout. The timeout covers queue wait plus
+	// execution.
 	DefaultTimeout time.Duration
 	// MaxTimeout caps request-supplied timeouts (and the default); 0 means
 	// no cap.
 	MaxTimeout time.Duration
+	// ClientRate enables per-client token-bucket rate limiting: sustained
+	// requests per second allowed per client ID (see WithClientID; HTTP
+	// uses the X-Client-ID header, falling back to the remote host).
+	// 0 disables rate limiting.
+	ClientRate float64
+	// ClientBurst is the bucket size — requests a client may issue
+	// back-to-back before the sustained rate applies. 0 → max(1, ⌈rate⌉).
+	ClientBurst int
+	// JobTTL is how long a finished async job (and its rows) stays
+	// retrievable before garbage collection. 0 → 5 minutes.
+	JobTTL time.Duration
+	// MaxStoredJobs bounds the job store. When full, submission evicts the
+	// oldest finished job, or fails with ErrOverloaded if every stored job
+	// is still live. 0 → 256.
+	MaxStoredJobs int
+	// Logf, when set, receives operational log lines (drain progress,
+	// abandoned jobs, response-encoding failures). Nil discards them;
+	// cmd/simd passes log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Service is the shared execution facade. Safe for concurrent use.
@@ -73,6 +153,12 @@ type Service struct {
 	runner *run.Runner
 	opt    Options
 	sem    chan struct{}
+
+	queued    atomic.Int64 // requests waiting for a slot (≤ MaxQueue)
+	latencyNS atomic.Int64 // EWMA of observed execution latency, for Retry-After
+	draining  atomic.Bool
+	limiter   *limiter
+	jobs      *jobStore
 }
 
 // New builds a Service.
@@ -80,14 +166,38 @@ func New(opt Options) *Service {
 	if opt.MaxInFlight <= 0 {
 		opt.MaxInFlight = 4
 	}
+	switch {
+	case opt.MaxQueue == 0:
+		opt.MaxQueue = 2 * opt.MaxInFlight
+	case opt.MaxQueue < 0:
+		opt.MaxQueue = 0 // fail-fast admission
+	}
 	if opt.MaxJobs <= 0 {
 		opt.MaxJobs = 4096
+	}
+	if opt.JobTTL <= 0 {
+		opt.JobTTL = 5 * time.Minute
+	}
+	if opt.MaxStoredJobs <= 0 {
+		opt.MaxStoredJobs = 256
 	}
 	r := opt.Runner
 	if r == nil {
 		r = run.New(run.Options{Parallelism: opt.Parallelism})
 	}
-	return &Service{runner: r, opt: opt, sem: make(chan struct{}, opt.MaxInFlight)}
+	s := &Service{runner: r, opt: opt, sem: make(chan struct{}, opt.MaxInFlight)}
+	if opt.ClientRate > 0 {
+		s.limiter = newLimiter(opt.ClientRate, opt.ClientBurst)
+	}
+	s.jobs = newJobStore(opt.JobTTL, opt.MaxStoredJobs)
+	return s
+}
+
+// logf forwards to Options.Logf when configured.
+func (s *Service) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
 }
 
 // Runner exposes the service's underlying runner (for sharing its memo
@@ -204,14 +314,94 @@ func (s *Service) Workloads() WorkloadsInfo {
 	}
 }
 
-// admit reserves an execution slot or fails fast.
-func (s *Service) admit() (release func(), err error) {
+// admit reserves an execution slot. The fast path is one channel send —
+// free when the service is not saturated. Under saturation the request
+// joins a bounded wait queue and blocks until a slot frees or ctx ends
+// (the caller applies the request deadline to ctx first, so a request
+// waits at most its own deadline). Only a full queue fails fast, with an
+// OverloadError carrying the Retry-After hint.
+//
+// The returned release frees the slot and feeds the observed execution
+// latency into the EWMA behind retryAfter. It must be called exactly once.
+func (s *Service) admit(ctx context.Context) (release func(), err error) {
+	if err := faultinject.Fire(faultinject.ServiceAdmit); err != nil {
+		return nil, err
+	}
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
+		return s.releaseFunc(), nil
 	default:
-		return nil, ErrOverloaded
 	}
+	// Saturated: join the queue, bounded optimistically (Add then check) so
+	// the common contended case stays a single atomic.
+	if n := s.queued.Add(1); n > int64(s.opt.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, &OverloadError{RetryAfter: s.retryAfter(), reason: ErrOverloaded}
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return s.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc builds the slot-release closure for one admitted request.
+func (s *Service) releaseFunc() func() {
+	start := time.Now()
+	return func() {
+		s.observeLatency(time.Since(start))
+		<-s.sem
+	}
+}
+
+// observeLatency folds one request's execution time into the EWMA the
+// Retry-After hint is derived from. The racy load/store pair is deliberate:
+// the value is a hint, and a lost update under concurrent completions is
+// harmless.
+func (s *Service) observeLatency(d time.Duration) {
+	old := s.latencyNS.Load()
+	if old == 0 {
+		s.latencyNS.Store(int64(d))
+		return
+	}
+	s.latencyNS.Store((3*old + int64(d)) / 4)
+}
+
+// retryAfter estimates when admission is likely to succeed: the observed
+// per-request latency scaled by how many "waves" of the backlog must drain
+// before a queue slot frees, clamped to [1s, 5m]. With no latency history
+// yet it falls back to one second.
+func (s *Service) retryAfter() time.Duration {
+	lat := time.Duration(s.latencyNS.Load())
+	if lat <= 0 {
+		return time.Second
+	}
+	waves := (int(s.queued.Load()) + s.opt.MaxInFlight) / s.opt.MaxInFlight
+	d := lat * time.Duration(waves)
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 5*time.Minute {
+		return 5 * time.Minute
+	}
+	return d
+}
+
+// checkAdmittable is the pre-validation gate every entry point passes:
+// drain state first (a draining service admits nothing new), then the
+// caller's rate limit.
+func (s *Service) checkAdmittable(ctx context.Context) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if s.limiter != nil {
+		if wait, ok := s.limiter.take(ClientID(ctx)); !ok {
+			return &OverloadError{RetryAfter: wait, reason: ErrRateLimited}
+		}
+	}
+	return nil
 }
 
 // timeoutCtx applies the request's effective timeout: the request value
@@ -250,37 +440,59 @@ func resolveWorkloads(specs []run.WorkloadSpec) ([]run.Workload, error) {
 
 // Batch executes a device × workload cross-product. Request-shaped
 // problems — unknown devices or kernels, malformed specs, no workloads, an
-// oversized cross-product, admission overload — fail the call; per-job
-// simulation failures land in the Response rows instead, so one bad cell
-// does not void the rest of the request.
+// oversized cross-product (all ValidationError), admission overload — fail
+// the call; per-job simulation failures land in the Response rows instead,
+// so one bad cell does not void the rest of the request.
 func (s *Service) Batch(ctx context.Context, req BatchRequest) (*Response, error) {
-	devices, err := resolveDevices(req.Devices)
+	if err := s.checkAdmittable(ctx); err != nil {
+		return nil, err
+	}
+	jobs, err := s.prepareBatch(req)
 	if err != nil {
 		return nil, err
 	}
-	workloads, err := resolveWorkloads(req.Workloads)
-	if err != nil {
-		return nil, err
-	}
-	if n := len(devices) * len(workloads); n > s.opt.MaxJobs {
-		return nil, fmt.Errorf("service: request is %d jobs, limit %d", n, s.opt.MaxJobs)
-	}
-	release, err := s.admit()
+	// The timeout is applied before admission: a request waits in the
+	// queue at most up to its own deadline.
+	ctx, cancel := s.timeoutCtx(ctx, req.Options)
+	defer cancel()
+	release, err := s.admit(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	ctx, cancel := s.timeoutCtx(ctx, req.Options)
-	defer cancel()
+	return s.runBatch(ctx, jobs, nil), nil
+}
 
-	jobs := run.Cross(devices, workloads)
+// prepareBatch validates a BatchRequest into its job list; every failure is
+// a ValidationError.
+func (s *Service) prepareBatch(req BatchRequest) ([]run.Job, error) {
+	devices, err := resolveDevices(req.Devices)
+	if err != nil {
+		return nil, invalid(err)
+	}
+	workloads, err := resolveWorkloads(req.Workloads)
+	if err != nil {
+		return nil, invalid(err)
+	}
+	if n := len(devices) * len(workloads); n > s.opt.MaxJobs {
+		return nil, invalidf("service: request is %d jobs, limit %d", n, s.opt.MaxJobs)
+	}
+	return run.Cross(devices, workloads), nil
+}
+
+// runBatch executes a prepared job list inside an already-admitted slot and
+// assembles the Response. onProgress (optional) observes each completion —
+// the async job path streams rows through it.
+func (s *Service) runBatch(ctx context.Context, jobs []run.Job, onProgress func(run.Progress)) *Response {
 	hits0, misses0 := s.runner.CacheStats()
-	results, errs := s.runner.RunAll(ctx, jobs)
+	results, errs := s.runner.RunAllWithProgress(ctx, jobs, onProgress)
 	resp := &Response{Results: make([]ResultRow, len(jobs))}
-	// Jobs skipped wholesale by a dead context (bare sentinel errors, the
-	// runner's skip signature) collapse into one Errors entry with a count
-	// — a timed-out 4096-job batch must not emit 4096 identical strings.
-	// Each skipped row still carries its own error field.
+	// Jobs cut off by a dead context — skipped outright or abandoned
+	// mid-run — collapse into one Errors entry with a count: a timed-out
+	// 4096-job batch must not emit 4096 identical strings. errors.Is, not
+	// ==, so the runner's wrapped abandonment errors (and workloads
+	// wrapping their own context error) collapse too; each row still
+	// carries its individual error field.
 	skipped, ctxErr := 0, error(nil)
 	for i := range jobs {
 		row := ResultRow{Result: results[i]}
@@ -289,9 +501,14 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) (*Response, error
 			// Identify the failed cell even without a Result.
 			row.Result.Workload = jobs[i].Workload.Name()
 			row.Result.Device = jobs[i].Device.Name
-			if errs[i] == context.Canceled || errs[i] == context.DeadlineExceeded {
+			if errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded) {
 				skipped++
-				ctxErr = errs[i]
+				if ctxErr == nil {
+					ctxErr = context.Canceled
+					if errors.Is(errs[i], context.DeadlineExceeded) {
+						ctxErr = context.DeadlineExceeded
+					}
+				}
 			} else {
 				resp.Errors = append(resp.Errors, fmt.Sprintf("%s on %s: %v",
 					jobs[i].Workload.Name(), jobs[i].Device.Name, errs[i]))
@@ -306,27 +523,55 @@ func (s *Service) Batch(ctx context.Context, req BatchRequest) (*Response, error
 		resp.Errors = append(resp.Errors, fmt.Sprintf("%d jobs skipped: %v", skipped, ctxErr))
 	}
 	resp.Cache = s.cacheDelta(hits0, misses0)
-	return resp, nil
+	return resp
 }
 
 // Sweep executes a device-parameter ablation. The axis grammar and
 // semantics are exactly cmd/sweep's; every cell row carries its axis
 // labels and base-relative deltas.
 func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*Response, error) {
+	if err := s.checkAdmittable(ctx); err != nil {
+		return nil, err
+	}
+	ps, err := s.prepareSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.timeoutCtx(ctx, req.Options)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.runSweep(ctx, ps, nil)
+}
+
+// preparedSweep is a validated sweep, ready to execute.
+type preparedSweep struct {
+	base      machine.Spec
+	axes      []sweep.Axis
+	workloads []run.Workload
+	jobCount  int
+}
+
+// prepareSweep validates a SweepRequest; every failure is a
+// ValidationError.
+func (s *Service) prepareSweep(req SweepRequest) (*preparedSweep, error) {
 	if req.Device == "" {
-		return nil, errors.New("service: sweep request names no device")
+		return nil, invalidf("service: sweep request names no device")
 	}
 	base, err := machine.ByName(req.Device)
 	if err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	axes, err := sweep.ParseAxes(req.Axes)
 	if err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	workloads, err := resolveWorkloads(req.Workloads)
 	if err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
 	// Bound the cross-product from the axis point counts BEFORE expanding:
 	// Expand materializes every cell as a deep-cloned Spec, so an oversized
@@ -338,30 +583,32 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*Response, error
 		}
 		cellCount *= len(ax.Points)
 		if cellCount > s.opt.MaxJobs {
-			return nil, fmt.Errorf("service: sweep is at least %d cells, limit %d jobs", cellCount, s.opt.MaxJobs)
+			return nil, invalidf("service: sweep is at least %d cells, limit %d jobs", cellCount, s.opt.MaxJobs)
 		}
 	}
 	if n := cellCount * len(workloads); n > s.opt.MaxJobs {
-		return nil, fmt.Errorf("service: sweep is %d jobs, limit %d", n, s.opt.MaxJobs)
+		return nil, invalidf("service: sweep is %d jobs, limit %d", n, s.opt.MaxJobs)
 	}
 	if _, err := sweep.Expand(base, axes); err != nil {
-		return nil, err
+		return nil, invalid(err)
 	}
-	release, err := s.admit()
-	if err != nil {
-		return nil, err
-	}
-	defer release()
-	ctx, cancel := s.timeoutCtx(ctx, req.Options)
-	defer cancel()
+	return &preparedSweep{base: base, axes: axes, workloads: workloads,
+		jobCount: cellCount * len(workloads)}, nil
+}
 
+// runSweep executes a prepared sweep inside an already-admitted slot.
+// onProgress (optional) observes per-cell completions with raw results;
+// the base-relative deltas arrive with the final Response.
+func (s *Service) runSweep(ctx context.Context, ps *preparedSweep, onProgress func(run.Progress)) (*Response, error) {
 	hits0, misses0 := s.runner.CacheStats()
 	res, err := sweep.Run(ctx, sweep.Config{
-		Base: base, Axes: axes, Workloads: workloads, Runner: s.runner,
+		Base: ps.base, Axes: ps.axes, Workloads: ps.workloads,
+		Runner: s.runner, OnProgress: onProgress,
 	})
 	if err != nil {
 		// The request validated (device, axes and workloads all resolved;
-		// the expansion above succeeded), so this is an execution failure.
+		// the expansion in prepareSweep succeeded), so this is an
+		// execution failure.
 		return nil, &ExecutionError{Err: err}
 	}
 	resp := &Response{Results: make([]ResultRow, len(res.PerCell))}

@@ -112,12 +112,12 @@ func TestSweepValidation(t *testing.T) {
 	}
 }
 
-// TestAdmissionLimit pins the bounded in-flight behavior: with MaxInFlight
-// 1, a second concurrent request fails fast with ErrOverloaded, and the
-// slot frees once the first request completes.
+// TestAdmissionLimit pins the fail-fast admission mode (MaxQueue -1): with
+// MaxInFlight 1 and no queue, a second concurrent request fails fast with
+// ErrOverloaded, and the slot frees once the first request completes.
 func TestAdmissionLimit(t *testing.T) {
 	name, started, release := armSlow()
-	svc := New(Options{MaxInFlight: 1})
+	svc := New(Options{MaxInFlight: 1, MaxQueue: -1})
 	ctx := context.Background()
 	req := BatchRequest{
 		Devices:   []string{"MangoPi"},

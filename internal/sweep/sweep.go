@@ -166,6 +166,13 @@ type Config struct {
 	// Passing a shared runner lets overlapping sweeps reuse each other's
 	// cached cells.
 	Runner *run.Runner
+	// OnProgress, when set, observes each cell×workload job as it
+	// completes (serially, in completion order) — the hook async transports
+	// stream partial sweep progress through. Base-relative deltas are only
+	// computable once the whole grid (and its base cell) is in, so progress
+	// carries raw per-job results; the deltas arrive with the final
+	// Results.
+	OnProgress func(run.Progress)
 }
 
 // CellResult is one (cell, workload) measurement with its base-relative
@@ -231,7 +238,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 			jobs = append(jobs, run.Job{Device: c.Spec, Workload: w})
 		}
 	}
-	results, err := r.Run(ctx, jobs)
+	results, err := r.RunWithProgress(ctx, jobs, cfg.OnProgress)
 	if err != nil {
 		return nil, fmt.Errorf("sweep on %s: %w", cfg.Base.Name, err)
 	}

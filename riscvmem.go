@@ -274,11 +274,47 @@ type (
 	ServiceDeviceInfo = service.DeviceInfo
 	// ServiceWorkloadsInfo is the kernel/workload discovery document.
 	ServiceWorkloadsInfo = service.WorkloadsInfo
+	// ServiceJobRequest submits work asynchronously: exactly one of Batch
+	// or Sweep.
+	ServiceJobRequest = service.JobRequest
+	// ServiceJobStatus is the pollable snapshot of one async job.
+	ServiceJobStatus = service.JobStatus
+	// ServiceJobState is the async job lifecycle state
+	// (queued/running/done/failed/cancelled).
+	ServiceJobState = service.JobState
+	// ServiceOverloadError wraps overload and rate-limit refusals with a
+	// Retry-After hint.
+	ServiceOverloadError = service.OverloadError
+	// ServiceDrainReport is the outcome of a graceful drain.
+	ServiceDrainReport = service.DrainReport
+)
+
+// Async job lifecycle states (see ServiceJobState).
+const (
+	JobQueued    = service.JobQueued
+	JobRunning   = service.JobRunning
+	JobDone      = service.JobDone
+	JobFailed    = service.JobFailed
+	JobCancelled = service.JobCancelled
 )
 
 // ErrServiceOverloaded is returned (HTTP 429) when a request arrives while
-// the service's admission limit is saturated.
+// the service's admission limit is saturated and its wait queue is full.
 var ErrServiceOverloaded = service.ErrOverloaded
+
+// ErrServiceRateLimited is returned (HTTP 429) when a client exceeds its
+// per-client request rate.
+var ErrServiceRateLimited = service.ErrRateLimited
+
+// ErrServiceDraining is returned (HTTP 503) while the service is shutting
+// down and no longer admits new work.
+var ErrServiceDraining = service.ErrDraining
+
+// ServiceClientID tags ctx with a client identity for per-client rate
+// limiting (the HTTP transport uses the X-Client-ID header instead).
+func ServiceClientID(ctx context.Context, id string) context.Context {
+	return service.WithClientID(ctx, id)
+}
 
 // NewService builds a Service.
 func NewService(opt ServiceOptions) *Service { return service.New(opt) }

@@ -10,10 +10,19 @@
 //	simd [-addr :8471] [-maxinflight 4] [-maxqueue 0] [-maxjobs 4096]
 //	     [-parallelism 0] [-timeout 60s] [-maxtimeout 5m] [-drain 30s]
 //	     [-jobttl 5m] [-clientrate 0] [-clientburst 0]
+//	     [-cache-dir DIR] [-cache-mem 65536]
+//
+// With -cache-dir the memo cache gains a persistent disk tier: every
+// computed result is content-addressed on disk under DIR, and a restarted
+// daemon serves previously computed cells without re-simulating. The
+// companion `memo` tool exports, imports, lists and garbage-collects the
+// same directory. -cache-mem bounds the in-memory tier (entries, not
+// bytes).
 //
 // Endpoints:
 //
 //	GET    /healthz        liveness probe (503 {"status":"draining"} during shutdown)
+//	GET    /metrics        Prometheus metrics (cache tiers, admission, jobs, latency)
 //	GET    /v1/devices     device presets
 //	GET    /v1/workloads   kernels, parameter grammar, sweep axes
 //	POST   /v1/batch       {"devices":[...], "workloads":[...]} cross-product
@@ -49,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"riscvmem/internal/run"
 	"riscvmem/internal/service"
 )
 
@@ -64,7 +74,18 @@ func main() {
 	jobTTL := flag.Duration("jobttl", 5*time.Minute, "how long finished async jobs stay retrievable")
 	clientRate := flag.Float64("clientrate", 0, "per-client sustained requests/second (X-Client-ID); 0 disables rate limiting")
 	clientBurst := flag.Int("clientburst", 0, "per-client burst size; 0 = max(1, clientrate)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result-cache tier; empty = memory-only")
+	cacheMem := flag.Int("cache-mem", 0, "in-memory cache tier capacity in entries; 0 = default (65536)")
 	flag.Parse()
+
+	store, err := run.OpenStore(*cacheDir, *cacheMem, log.Printf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd: opening cache dir:", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		log.Printf("simd: persistent result cache at %s (version %s)", *cacheDir, run.CacheVersion)
+	}
 
 	svc := service.New(service.Options{
 		Parallelism:    *parallelism,
@@ -76,6 +97,7 @@ func main() {
 		JobTTL:         *jobTTL,
 		ClientRate:     *clientRate,
 		ClientBurst:    *clientBurst,
+		Store:          store,
 		Logf:           log.Printf,
 	})
 	srv := &http.Server{

@@ -10,6 +10,13 @@
 //	      [-workloads "transpose:variant=Naive,n=512; stream/TRIAD"]
 //	      [-n 512] [-elems 65536] [-reps 2] [-image 318x253x3] [-filter 19]
 //	      [-format table|csv|json] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-cache-dir DIR] [-cache-stats]
+//
+// With -cache-dir the sweep reads and writes the same persistent result
+// cache cmd/simd uses: cells a previous run (or a running daemon) already
+// simulated are served from disk, and this run's cells are persisted for
+// the next. -cache-stats prints tier-labelled cache counters to stderr
+// after the sweep (how much came from memory, disk, or fresh simulation).
 //
 // Axis grammar (every axis also accepts the literal value "base", meaning
 // "leave the parameter at the preset's value"):
@@ -127,6 +134,8 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory shared with simd; empty = memory-only")
+	cacheStats := flag.Bool("cache-stats", false, "print tier-labelled cache counters to stderr after the sweep")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -167,13 +176,29 @@ func main() {
 		fail(fmt.Errorf("no workloads given"))
 	}
 
+	store, err := run.OpenStore(*cacheDir, 0, func(f string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweep: "+f+"\n", args...)
+	})
+	if err != nil {
+		fail(err)
+	}
+	runner := run.New(run.Options{Store: store})
+
 	res, err := sweep.Run(context.Background(), sweep.Config{
-		Base: base, Axes: axes, Workloads: ws,
+		Base: base, Axes: axes, Workloads: ws, Runner: runner,
 	})
 	if err != nil {
 		fail(err)
 	}
 	if err := report.Emit(os.Stdout, *format, res.Table()); err != nil {
 		fail(err)
+	}
+	if *cacheStats {
+		hits, misses := runner.CacheStats()
+		ts := runner.TierStats()
+		fmt.Fprintf(os.Stderr,
+			"sweep: cache: %d hits, %d misses (simulated); memory tier %d hits / %d misses, disk tier %d hits / %d misses, %d persisted, %d corrupt, %d persist errors\n",
+			hits, misses, ts.MemoryHits, ts.MemoryMisses, ts.DiskHits, ts.DiskMisses,
+			ts.DiskWrites, ts.DiskCorrupt, ts.DiskWriteErrors)
 	}
 }

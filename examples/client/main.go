@@ -80,10 +80,13 @@ func main() {
 	fmt.Printf("  (%d new simulations)\n", resp.Cache.RequestMisses)
 
 	// The same request again: every cell is served from the daemon's memo
-	// cache — zero new simulations.
+	// cache — zero new simulations. The per-tier breakdown says where the
+	// hits came from: memory for a warm daemon, disk when a daemon started
+	// with -cache-dir was restarted since the cells were computed.
 	postJSON(url+"/v1/batch", batch, &resp)
-	fmt.Printf("repeat of the same batch: %d new simulations, %d cache hits\n",
-		resp.Cache.RequestMisses, resp.Cache.RequestHits)
+	fmt.Printf("repeat of the same batch: %d new simulations, %d cache hits (%d memory-tier, %d disk-tier)\n",
+		resp.Cache.RequestMisses, resp.Cache.RequestHits,
+		resp.Cache.RequestTiers.MemoryHits, resp.Cache.RequestTiers.DiskHits)
 
 	// A sweep: "what if the Mango Pi had an L2?" as one request.
 	sweepReq := riscvmem.SweepRequest{

@@ -38,4 +38,10 @@ const (
 	// error. Guards: transports map injected admission failures like real
 	// ones (429/503), and a failed admission leaks nothing.
 	ServiceAdmit Point = "service.admit"
+	// MemoPersist fires in memostore.Disk at the entry write path, before
+	// anything touches the filesystem; a handler error makes that persist
+	// fail. Guards: a failed persist is counted (DiskWriteErrors) and
+	// logged but never fails the request that produced the result, and the
+	// result is still served from the memory tier afterwards.
+	MemoPersist Point = "memostore.persist"
 )

@@ -141,6 +141,28 @@ func (s Spec) Identity() any {
 	return id
 }
 
+// IdentityString renders the spec's Identity as a canonical string — the
+// device coordinate of the persistent memo store's key. Two specs yield
+// equal strings exactly when their Identities are equal: the string is the
+// Go-syntax rendering of the identity projection, which names every field,
+// quotes (and escapes) every string, and renders floats in shortest
+// round-trip form, so it is deterministic across processes and never
+// ambiguous across field boundaries.
+//
+// persistable is false when the spec carries a custom prefetcher factory
+// (Mem.NewPrefetcher): such an identity embeds a code pointer that is only
+// meaningful inside this process, so the encoding must not be used as a
+// cross-process cache key — the memo store keeps those entries in the
+// memory tier only (memostore.Key.Volatile).
+//
+// Note the encoding is *stability-critical downward only*: changing it (or
+// the identity struct it mirrors) silently orphans persisted cache entries,
+// which is safe — orphaned entries are simply re-simulated — but wasteful,
+// so treat the format with the same care as a model-version bump.
+func (s Spec) IdentityString() (id string, persistable bool) {
+	return fmt.Sprintf("%#v", s.Identity()), s.Mem.NewPrefetcher == nil
+}
+
 // Fits reports whether a working set of the given size fits in device RAM
 // (with a small allowance for the OS, mirroring the paper's observation that
 // the 16384² matrix "does not fit in memory" of the 1 GiB Mango Pi).

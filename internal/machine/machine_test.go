@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"riscvmem/internal/cache"
 	"riscvmem/internal/hier"
 	"riscvmem/internal/units"
 )
@@ -257,5 +258,60 @@ func TestNewHierarchyWorks(t *testing.T) {
 		if done := h.MissPath(0, 0, 4096, false); done <= 0 {
 			t.Errorf("%s: cold miss done = %v", s.Name, done)
 		}
+	}
+}
+
+// TestIdentityStringMirrorsIdentity pins the canonical device encoding the
+// persistent memo store keys on: it must be deterministic, and it must
+// distinguish exactly what Identity distinguishes — every mutation that
+// changes the identity changes the string, and equal identities render
+// equally.
+func TestIdentityStringMirrorsIdentity(t *testing.T) {
+	a, _ := VisionFive().IdentityString()
+	b, _ := VisionFive().IdentityString()
+	if a != b {
+		t.Fatal("IdentityString is not deterministic")
+	}
+	if a == "" {
+		t.Fatal("empty identity string")
+	}
+	if !strings.Contains(a, `"VisionFive"`) {
+		t.Errorf("identity string does not quote the device name: %s", a)
+	}
+	mutations := map[string]func(*Spec){
+		"clock":        func(s *Spec) { s.FreqGHz = 2.0 },
+		"L2 size":      func(s *Spec) { s.Mem.L2.Cache.Size *= 2 },
+		"drop L2":      func(s *Spec) { s.Mem.L2 = nil },
+		"miss overlap": func(s *Spec) { s.Mem.MissOverlap = 0.5 },
+		"no prefetch":  func(s *Spec) { s.Mem.Prefetch = nil },
+		"policy":       func(s *Spec) { s.Mem.L1.Policy = cache.FIFO },
+	}
+	for name, mutate := range mutations {
+		s := VisionFive()
+		if s.Mem.L2 != nil {
+			l2 := *s.Mem.L2
+			s.Mem.L2 = &l2
+		}
+		mutate(&s)
+		got, persistable := s.IdentityString()
+		if !persistable {
+			t.Errorf("mutation %q not persistable", name)
+		}
+		if got == a {
+			t.Errorf("mutation %q does not change the identity string", name)
+		}
+	}
+}
+
+// TestIdentityStringFactorySpecsAreVolatile pins that a custom prefetcher
+// factory — whose identity is a process-local code pointer — is flagged
+// non-persistable, so the memo store never writes such keys to disk.
+func TestIdentityStringFactorySpecsAreVolatile(t *testing.T) {
+	if _, persistable := VisionFive().IdentityString(); !persistable {
+		t.Fatal("preset flagged non-persistable")
+	}
+	s := specWithFactoryDistance(2)
+	if _, persistable := s.IdentityString(); persistable {
+		t.Fatal("factory-built spec flagged persistable")
 	}
 }

@@ -1,0 +1,280 @@
+package memostore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Snapshot stream format: a header line followed by one entry envelope per
+// line. The envelopes are the on-disk entry format verbatim — checksums
+// included — so import re-validates every entry end to end and a snapshot
+// is portable across machines and processes.
+const (
+	snapshotMagic  = "riscvmem-memo-snapshot"
+	snapshotFormat = 1
+	// maxSnapshotLine bounds one snapshot entry; results are a few KB, so
+	// 4 MiB is generous headroom.
+	maxSnapshotLine = 4 << 20
+)
+
+type snapshotHeader struct {
+	Magic  string `json:"magic"`
+	Format int    `json:"format"`
+}
+
+// EntryInfo describes one on-disk entry during Walk. Err is non-nil when
+// the entry failed validation (it is still reported, so `memo ls` can show
+// damage without mutating the store).
+type EntryInfo struct {
+	Key  Key
+	Path string
+	Size int64
+	Err  error
+}
+
+// Walk visits every entry file under the store root in lexical path order,
+// validating each (read-only: a corrupt entry is reported via Err, not
+// quarantined). The quarantine directory and in-progress temp files are
+// skipped. Returning a non-nil error from fn stops the walk.
+func (d *Disk) Walk(fn func(EntryInfo) error) error {
+	return filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			if path != d.dir && de.Name() == quarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) || !strings.HasSuffix(name, entryExt) {
+			return nil
+		}
+		info := EntryInfo{Path: path}
+		if fi, err := de.Info(); err == nil {
+			info.Size = fi.Size()
+		}
+		env, err := readEntry(path)
+		if err != nil {
+			info.Err = err
+			return fn(info)
+		}
+		info.Key = Key{Version: env.Version, Device: env.Device, Workload: env.Workload}
+		if want := keyHash(info.Key) + entryExt; name != want {
+			// The envelope is internally consistent but sits at the wrong
+			// address — a hand-copied or renamed file. Get would never find
+			// it, so surface it as damage.
+			info.Err = fmt.Errorf("entry filename does not match its key hash (want %s)", want)
+		}
+		return fn(info)
+	})
+}
+
+// readEntry loads and validates one entry file (checksum included).
+func readEntry(path string) (*envelope, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("unparseable entry: %w", err)
+	}
+	if err := env.validate(nil); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// ExportStats reports what Export wrote.
+type ExportStats struct {
+	Entries int // valid entries written to the snapshot
+	Skipped int // invalid entries left out
+}
+
+// Export streams every valid entry to w as a snapshot (header line plus one
+// envelope per line). Invalid entries are skipped and counted, never
+// exported — a snapshot is always fully importable.
+func (d *Disk) Export(w io.Writer) (ExportStats, error) {
+	var stats ExportStats
+	enc := json.NewEncoder(w) // Encode appends the newline that delimits lines
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Format: snapshotFormat}); err != nil {
+		return stats, err
+	}
+	err := d.Walk(func(info EntryInfo) error {
+		if info.Err != nil {
+			stats.Skipped++
+			return nil
+		}
+		env, err := readEntry(info.Path)
+		if err != nil {
+			// Validated a moment ago but gone or damaged now (concurrent
+			// writer, racing gc): skip it, same as any invalid entry.
+			stats.Skipped++
+			return nil
+		}
+		if err := enc.Encode(env); err != nil {
+			return err
+		}
+		stats.Entries++
+		return nil
+	})
+	return stats, err
+}
+
+// ImportStats reports what Import did.
+type ImportStats struct {
+	Added    int // entries new to this store
+	Replaced int // entries that already existed (overwritten; same content for a same-version key)
+	Invalid  int // snapshot lines that failed validation, skipped
+}
+
+// Import reads a snapshot stream and installs every valid entry through the
+// same atomic write path Put uses. Entries land under the version recorded
+// in the snapshot — importing an old snapshot into a newer model simply
+// files the stale entries where Get never looks and `memo gc` reclaims
+// them. Invalid lines are skipped and counted; only a malformed header or
+// an I/O failure aborts.
+func (d *Disk) Import(r io.Reader) (ImportStats, error) {
+	var stats ImportStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxSnapshotLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return stats, err
+		}
+		return stats, fmt.Errorf("memostore: empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != snapshotMagic || hdr.Format != snapshotFormat {
+		return stats, fmt.Errorf("memostore: not a %s/%d snapshot", snapshotMagic, snapshotFormat)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			stats.Invalid++
+			continue
+		}
+		if err := env.validate(nil); err != nil {
+			stats.Invalid++
+			continue
+		}
+		path := d.entryPath(Key{Version: env.Version, Device: env.Device, Workload: env.Workload})
+		_, statErr := os.Stat(path)
+		if err := d.writeEnvelope(env); err != nil {
+			return stats, err
+		}
+		if statErr == nil {
+			stats.Replaced++
+		} else {
+			stats.Added++
+		}
+	}
+	return stats, sc.Err()
+}
+
+// GCStats reports what GC removed.
+type GCStats struct {
+	StaleEntries  int // entries removed from orphaned version namespaces
+	StaleVersions int // version directories removed wholesale
+	TempFiles     int // abandoned in-progress temp files
+	Quarantined   int // quarantined entries purged
+}
+
+// GC reclaims dead weight from the store directory: quarantined entries,
+// temp files a crash left behind, and — when keepVersion is non-empty —
+// every entry belonging to a different version namespace (the cache-
+// versioning contract's cleanup half: a version bump orphans old entries,
+// GC deletes them). An empty keepVersion keeps all versions.
+func (d *Disk) GC(keepVersion string) (GCStats, error) {
+	var stats GCStats
+	tops, err := os.ReadDir(d.dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, top := range tops {
+		path := filepath.Join(d.dir, top.Name())
+		switch {
+		case !top.IsDir():
+			if strings.HasPrefix(top.Name(), tmpPrefix) {
+				if os.Remove(path) == nil {
+					stats.TempFiles++
+				}
+			}
+		case top.Name() == quarantineDir:
+			n, err := removeTree(path)
+			stats.Quarantined += n
+			if err != nil {
+				return stats, err
+			}
+		default:
+			version, uerr := url.PathUnescape(top.Name())
+			stale := keepVersion != "" && (uerr != nil || version != keepVersion)
+			n, err := sweepVersionDir(path, stale)
+			if stale {
+				stats.StaleEntries += n
+				stats.StaleVersions++
+			} else {
+				stats.TempFiles += n
+			}
+			if err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// sweepVersionDir removes either the whole version tree (stale: counting
+// its entries) or just its abandoned temp files (live: counting those).
+func sweepVersionDir(dir string, stale bool) (int, error) {
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		switch {
+		case stale && strings.HasSuffix(de.Name(), entryExt):
+			n++
+		case !stale && strings.HasPrefix(de.Name(), tmpPrefix):
+			if os.Remove(path) == nil {
+				n++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if stale {
+		err = os.RemoveAll(dir)
+	}
+	return n, err
+}
+
+// removeTree deletes a directory tree, returning how many files it held.
+func removeTree(dir string) (int, error) {
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, de fs.DirEntry, err error) error {
+		if err == nil && !de.IsDir() {
+			n++
+		}
+		return err
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return n, err
+	}
+	return n, os.RemoveAll(dir)
+}

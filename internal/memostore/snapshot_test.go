@@ -1,0 +1,195 @@
+package memostore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		src.Put(testKey(i), fmt.Sprintf("value-%d", i))
+	}
+	var snap bytes.Buffer
+	es, err := src.Export(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Entries != n || es.Skipped != 0 {
+		t.Fatalf("export stats = %+v, want %d entries", es, n)
+	}
+
+	dst, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Put(testKey(0), "value-0") // pre-existing: must count as replaced
+	is, err := dst.Import(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Added != n-1 || is.Replaced != 1 || is.Invalid != 0 {
+		t.Fatalf("import stats = %+v, want %d added / 1 replaced", is, n-1)
+	}
+	for i := 0; i < n; i++ {
+		v, tier, ok := dst.Get(testKey(i))
+		if !ok || tier != TierDisk || v != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("imported entry %d: (%v, %v, %v)", i, v, tier, ok)
+		}
+	}
+}
+
+// TestImportRejectsDamage pins that import validates end to end: corrupt
+// snapshot lines are skipped and counted, valid ones still land.
+func TestImportRejectsDamage(t *testing.T) {
+	src, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Put(testKey(1), "one")
+	src.Put(testKey(2), "two")
+	var snap bytes.Buffer
+	if _, err := src.Export(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first entry line (line 2): flip a payload character.
+	lines := strings.SplitAfter(snap.String(), "\n")
+	lines[1] = strings.Replace(lines[1], `"result":"`, `"result":"X`, 1)
+	damaged := strings.Join(lines, "")
+
+	dst, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := dst.Import(strings.NewReader(damaged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Added != 1 || is.Invalid != 1 {
+		t.Fatalf("import stats = %+v, want 1 added / 1 invalid", is)
+	}
+}
+
+func TestImportRejectsBadHeader(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range []string{"", "not json\n", `{"magic":"something-else","format":1}` + "\n"} {
+		if _, err := d.Import(strings.NewReader(snap)); err == nil {
+			t.Errorf("snapshot %q accepted", snap)
+		}
+	}
+}
+
+// TestExportSkipsCorruptEntries: a damaged entry must not poison a
+// snapshot.
+func TestExportSkipsCorruptEntries(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(testKey(1), "good")
+	d.Put(testKey(2), "doomed")
+	// Truncate one entry in place.
+	var victim string
+	if err := d.Walk(func(info EntryInfo) error {
+		if info.Key.Workload == testKey(2).Workload {
+			victim = info.Path
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	es, err := d.Export(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Entries != 1 || es.Skipped != 1 {
+		t.Fatalf("export stats = %+v, want 1 entry / 1 skipped", es)
+	}
+}
+
+func TestWalkReportsDamageWithoutMutating(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(testKey(1), "v")
+	path := entryFile(t, d)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	if err := d.Walk(func(info EntryInfo) error {
+		if info.Err != nil {
+			sawErr = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawErr {
+		t.Fatal("Walk did not report the damaged entry")
+	}
+	// Walk is read-only: the file must still be in place (not quarantined).
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("Walk moved the damaged entry: %v", err)
+	}
+}
+
+// TestGCRemovesStaleVersions is the versioning contract's cleanup half:
+// entries under any version namespace other than the kept one are removed
+// wholesale, the kept namespace is untouched.
+func TestGCRemovesStaleVersions(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), testCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := testKey(1) // version "riscvmem/vTEST"
+	stale := testKey(2)
+	stale.Version = "riscvmem/vOLD"
+	d.Put(current, "keep")
+	d.Put(stale, "drop")
+	// One quarantined entry too.
+	d.Put(testKey(3), "doomed")
+	var doomed string
+	d.Walk(func(info EntryInfo) error {
+		if info.Key.Workload == testKey(3).Workload {
+			doomed = info.Path
+		}
+		return nil
+	})
+	raw, _ := os.ReadFile(doomed)
+	os.WriteFile(doomed, raw[:5], 0o644)
+	d.Get(testKey(3)) // trigger quarantine
+
+	gc, err := d.GC(current.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.StaleVersions != 1 || gc.StaleEntries != 1 || gc.Quarantined != 1 {
+		t.Fatalf("gc stats = %+v, want 1 stale version / 1 stale entry / 1 quarantined", gc)
+	}
+	if v, _, ok := d.Get(current); !ok || v != "keep" {
+		t.Fatal("GC damaged the kept version")
+	}
+	if _, _, ok := d.Get(stale); ok {
+		t.Fatal("stale-version entry survived GC")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"riscvmem/internal/faultinject"
 	"riscvmem/internal/machine"
+	"riscvmem/internal/memostore"
 	"riscvmem/internal/sim"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// job then simulates, as in a fresh Runner. Cacheless runs are still
 	// bit-identical to cached ones — the cache only skips work.
 	DisableCache bool
+	// Store is the tiered memo store completed Results live in (see
+	// internal/memostore): a bounded in-memory LRU, optionally over an
+	// on-disk tier that survives restarts (run.OpenStore builds the
+	// standard composition). Nil selects a memory-only store with the
+	// default capacity — the pre-persistence behavior, now bounded.
+	Store memostore.Store
 }
 
 // Runner executes jobs on a pool of reusable machines. Machines are keyed
@@ -58,31 +65,46 @@ type Options struct {
 // caveat).
 //
 // On top of pooling, the Runner memoizes Results for workloads that opt in
-// through the Keyed interface: the cache is keyed by (device identity,
-// workload cache key) and deduplicated in flight, so an identical cell —
-// within one batch, across batches, or across overlapping sweeps — simulates
-// exactly once. The simulator is deterministic (pinned by the oracle tests),
-// so a cached Result is bit-identical to a re-simulation.
+// through the Keyed interface: completed Results live in a tiered memo
+// store (Options.Store) keyed by (CacheVersion, device identity encoding,
+// workload cache key) and are deduplicated in flight, so an identical cell
+// — within one batch, across batches, across overlapping sweeps, and (with
+// a disk-backed store) across process restarts — simulates exactly once.
+// The simulator is deterministic (pinned by the oracle tests), so a cached
+// Result is bit-identical to a re-simulation, whichever tier serves it.
 //
 // A Runner is safe for concurrent use; the zero value is not valid, use New.
 type Runner struct {
-	opt  Options
-	mu   sync.Mutex // guards pool
-	pool map[any][]*sim.Machine
+	opt   Options
+	store memostore.Store
+	mu    sync.Mutex // guards pool
+	pool  map[any][]*sim.Machine
 
-	// The result cache is sharded by a hash of the workload key so large
-	// parallel batches of distinct cells stop serializing on one mutex; an
-	// identical cell always hashes to the same shard, which preserves the
-	// per-key singleflight. Counters are atomics for the same reason — a
-	// cache hit previously re-took the runner lock just to count itself.
-	cache     [cacheShards]cacheShard
-	seed      maphash.Seed
+	// flights holds only the cells currently simulating (singleflight): the
+	// first job to claim a key simulates, identical jobs arriving meanwhile
+	// wait and share the outcome; a completed flight's Result moves to the
+	// store and the flight is removed. Sharded by a hash of the cell key so
+	// large parallel batches of distinct cells stop serializing on one
+	// mutex. Counters are atomics for the same reason — a cache hit must
+	// not take the runner lock just to count itself.
+	flights [cacheShards]flightShard
+	seed    maphash.Seed
+	// devKeys memoizes machine.Spec.IdentityString per device identity: the
+	// canonical encoding is a ~hundred-field rendering, computed once per
+	// distinct device per process instead of once per job.
+	devKeys   sync.Map      // Spec.Identity() -> devKey
 	hits      atomic.Uint64 // results served without a new simulation
 	misses    atomic.Uint64 // simulations actually executed for keyed jobs
 	abandoned atomic.Uint64 // runs left behind by an expired job context
 }
 
-// cacheShards is the result-cache shard count; a power of two.
+// devKey is the cached device coordinate of a cell key.
+type devKey struct {
+	id       string
+	volatile bool
+}
+
+// cacheShards is the in-flight map's shard count; a power of two.
 const cacheShards = 16
 
 // abandonGrace is how long a cancelled job waits for its workload to
@@ -92,26 +114,37 @@ const cacheShards = 16
 // hostage.
 const abandonGrace = 2 * time.Millisecond
 
-type cacheShard struct {
+type flightShard struct {
 	mu sync.Mutex
-	m  map[resultKey]*flight
+	m  map[memostore.Key]*flight
 }
 
-// resultKey identifies one memoizable cell: the device's full parameter
-// identity plus the workload's self-declared configuration key.
-type resultKey struct {
-	device   any
-	workload string
+// shard picks the in-flight shard for a cell. Both identity coordinates
+// feed the hash: sweep batches are many device cells × few workloads,
+// suite batches are few devices × many workloads — hashing either alone
+// would collapse one of those shapes onto a single shard.
+func (r *Runner) shard(key memostore.Key) *flightShard {
+	h := maphash.String(r.seed, key.Workload) ^ maphash.String(r.seed, key.Device)
+	return &r.flights[h&(cacheShards-1)]
 }
 
-// shard picks the cache shard for a cell. Both coordinates feed the hash:
-// sweep batches are many device cells × few workloads (mutated cells carry
-// distinct Renamed device names), suite batches are few devices × many
-// workloads — hashing either alone would collapse one of those shapes onto
-// a single shard.
-func (r *Runner) shard(device, workload string) *cacheShard {
-	h := maphash.String(r.seed, workload) ^ maphash.String(r.seed, device)
-	return &r.cache[h&(cacheShards-1)]
+// cellKey builds the store key for one keyed job, memoizing the device
+// coordinate (a large canonical rendering) per device identity.
+func (r *Runner) cellKey(devID any, spec machine.Spec, workloadKey string) memostore.Key {
+	var dk devKey
+	if cached, ok := r.devKeys.Load(devID); ok {
+		dk = cached.(devKey)
+	} else {
+		id, persistable := spec.IdentityString()
+		dk = devKey{id: id, volatile: !persistable}
+		r.devKeys.Store(devID, dk)
+	}
+	return memostore.Key{
+		Version:  CacheVersion,
+		Device:   dk.id,
+		Workload: workloadKey,
+		Volatile: dk.volatile,
+	}
 }
 
 // flight is one singleflight cache slot: the first job to claim a key
@@ -126,12 +159,16 @@ type flight struct {
 // New builds a Runner.
 func New(opt Options) *Runner {
 	r := &Runner{
-		opt:  opt,
-		pool: map[any][]*sim.Machine{},
-		seed: maphash.MakeSeed(),
+		opt:   opt,
+		store: opt.Store,
+		pool:  map[any][]*sim.Machine{},
+		seed:  maphash.MakeSeed(),
 	}
-	for i := range r.cache {
-		r.cache[i].m = map[resultKey]*flight{}
+	if r.store == nil {
+		r.store = memostore.NewMemory(0)
+	}
+	for i := range r.flights {
+		r.flights[i].m = map[memostore.Key]*flight{}
 	}
 	return r
 }
@@ -143,6 +180,16 @@ func New(opt Options) *Runner {
 func (r *Runner) CacheStats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
 }
+
+// TierStats reports the memo store's per-tier counters (memory LRU and,
+// when configured, the on-disk tier). Jobs that joined an in-flight
+// simulation appear in CacheStats hits but in no tier — they never reached
+// the store.
+func (r *Runner) TierStats() memostore.Stats { return r.store.Stats() }
+
+// Store exposes the runner's memo store (for sharing it, snapshotting its
+// disk tier, or reading tier stats from another layer).
+func (r *Runner) Store() memostore.Store { return r.store }
 
 // Abandoned reports how many workload runs were left behind by an expired
 // or cancelled job context (see simulate). Each one may pin a goroutine
@@ -204,8 +251,8 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 	if !keyed || r.opt.DisableCache {
 		return r.simulate(ctx, job, devID)
 	}
-	key := resultKey{device: devID, workload: kw.CacheKey()}
-	sh := r.shard(job.Device.Name, key.workload)
+	key := r.cellKey(devID, job.Device, kw.CacheKey())
+	sh := r.shard(key)
 	for {
 		sh.mu.Lock()
 		if f, ok := sh.m[key]; ok {
@@ -217,7 +264,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 					// The leader's batch was cancelled but ours was not
 					// (the Runner may be shared across batches); its
 					// cancellation must not fail our job. The failed
-					// flight was already evicted, so loop and retry —
+					// flight was already removed, so loop and retry —
 					// becoming the leader or joining a fresh flight.
 					continue
 				}
@@ -230,21 +277,33 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 				return Result{}, ctx.Err()
 			}
 		}
+		// The store lookup happens under the shard lock, after the flight
+		// check: a leader publishes its Result to the store BEFORE removing
+		// its flight, so a racer always finds the cell in one of the two.
+		if v, _, ok := r.store.Get(key); ok {
+			if res, isResult := v.(Result); isResult {
+				sh.mu.Unlock()
+				r.hits.Add(1)
+				return res, nil
+			}
+			// A store serving a foreign type (misconfigured codec) is
+			// treated as a miss: correctness over reuse.
+		}
 		f := &flight{done: make(chan struct{})}
 		sh.m[key] = f
 		r.misses.Add(1)
 		sh.mu.Unlock()
 		f.res, f.err = r.simulate(ctx, job, devID)
-		if f.err != nil {
-			// Failures are not memoized (a later identical job retries,
-			// and the eviction must precede close so retrying waiters
-			// never re-join this flight), but jobs already waiting share
-			// the error — unless it is another batch's cancellation, see
-			// above.
-			sh.mu.Lock()
-			delete(sh.m, key)
-			sh.mu.Unlock()
+		if f.err == nil {
+			// Publish before the flight is removed (see above). Errors are
+			// never stored: a later identical job retries.
+			r.store.Put(key, f.res)
 		}
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		// Removal precedes close so retrying waiters never re-join this
+		// flight; jobs already waiting share the outcome either way.
 		close(f.done)
 		return f.res, f.err
 	}

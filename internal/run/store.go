@@ -1,0 +1,63 @@
+package run
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"riscvmem/internal/memostore"
+	"riscvmem/internal/sim"
+)
+
+// CacheVersion is the namespace every persisted memo entry lives under: the
+// module identity plus the simulation model version. A sim.ModelVersion
+// bump changes it, which cleanly orphans every previously persisted result
+// (see the versioning contract on sim.ModelVersion); `memo gc -stale`
+// reclaims the orphans.
+const CacheVersion = "riscvmem/v" + sim.ModelVersion
+
+// ResultCodec converts Results to and from the canonical byte payload the
+// disk tier persists: JSON, which round-trips every Result field
+// bit-for-bit (Go renders float64 in shortest round-trip form, and the
+// simulator never produces NaN or Inf). Decoding is strict — an entry
+// whose payload carries fields the current Result does not know is treated
+// as corrupt (quarantined, re-simulated) rather than silently half-read.
+func ResultCodec() memostore.Codec {
+	return memostore.Codec{
+		Encode: func(v any) ([]byte, error) {
+			res, ok := v.(Result)
+			if !ok {
+				return nil, fmt.Errorf("run: memo store asked to encode %T, not run.Result", v)
+			}
+			return json.Marshal(res)
+		},
+		Decode: func(data []byte) (any, error) {
+			var res Result
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&res); err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	}
+}
+
+// OpenStore builds the standard tiered result store: a bounded in-memory
+// LRU (memEntries entries; <= 0 selects the memostore default) over an
+// on-disk content-addressed tier rooted at dir. An empty dir yields a
+// memory-only store — what a Runner without explicit Options.Store gets.
+// logf (optional) receives the disk tier's operational lines (quarantines,
+// failed persists).
+func OpenStore(dir string, memEntries int, logf func(format string, args ...any)) (*memostore.Tiered, error) {
+	mem := memostore.NewMemory(memEntries)
+	if dir == "" {
+		return memostore.NewTiered(mem, nil), nil
+	}
+	disk, err := memostore.OpenDisk(dir, ResultCodec())
+	if err != nil {
+		return nil, err
+	}
+	disk.Logf = logf
+	return memostore.NewTiered(mem, disk), nil
+}

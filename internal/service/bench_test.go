@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"riscvmem/internal/run"
@@ -37,5 +38,43 @@ func BenchmarkServiceBatch(b *testing.B) {
 	b.StopTimer()
 	if _, misses := svc.Runner().CacheStats(); misses != 1 {
 		b.Fatalf("warm benchmark simulated %d times, want 1", misses)
+	}
+}
+
+// BenchmarkServiceRestartWarm measures what a restarted daemon pays to
+// serve a previously computed batch from the persistent disk tier: one op
+// builds a fresh Service (empty memory tier) over a warm cache directory
+// and executes an 8-cell batch — every cell is a disk-tier hit (entry read,
+// checksum verification, decode, promotion), zero new simulations.
+// scripts/bench.sh records the median as service_restart_warm_ns_per_op.
+func BenchmarkServiceRestartWarm(b *testing.B) {
+	specs := make([]run.WorkloadSpec, 8)
+	for i := range specs {
+		specs[i] = run.MustParseWorkloadSpec(
+			fmt.Sprintf("stream:test=COPY,elems=%d,reps=1", 1024+64*i))
+	}
+	req := BatchRequest{Devices: []string{"MangoPi"}, Workloads: specs}
+	ctx := context.Background()
+	dir := b.TempDir()
+	openSvc := func() *Service {
+		store, err := run.OpenStore(dir, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return New(Options{Parallelism: 1, Store: store})
+	}
+	if _, err := openSvc().Batch(ctx, req); err != nil { // warm the disk tier
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := openSvc()
+		resp, err := svc.Batch(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cache.RequestMisses != 0 {
+			b.Fatalf("restart-warm op simulated %d cells", resp.Cache.RequestMisses)
+		}
 	}
 }

@@ -18,6 +18,7 @@ const maxBodyBytes = 1 << 20
 // NewHandler fronts a Service with HTTP — the simd wire protocol:
 //
 //	GET    /healthz        liveness: {"status":"ok"}, or 503 {"status":"draining"}
+//	GET    /metrics        Prometheus text exposition (see WriteMetrics)
 //	GET    /v1/devices     device presets
 //	GET    /v1/workloads   kernels, params, registered workloads, sweep axes
 //	POST   /v1/batch       BatchRequest → Response (synchronous)
@@ -46,6 +47,12 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WriteMetrics(w); err != nil {
+			s.logf("service: writing /metrics response: %v", err)
+		}
 	})
 	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, s.Devices())

@@ -32,6 +32,7 @@ import (
 
 	"riscvmem/internal/faultinject"
 	"riscvmem/internal/machine"
+	"riscvmem/internal/memostore"
 	"riscvmem/internal/run"
 	"riscvmem/internal/sweep"
 )
@@ -109,6 +110,12 @@ type Options struct {
 	// Parallelism is forwarded to the Runner built when Runner is nil;
 	// 0 defaults to the host CPU count.
 	Parallelism int
+	// Store is the tiered memo store forwarded to the Runner built when
+	// Runner is nil — run.OpenStore builds one with a persistent disk tier
+	// so a restarted daemon serves previously computed results without
+	// re-simulating. Nil gets the runner's default bounded in-memory store.
+	// Ignored when Runner is set (the runner already owns its store).
+	Store memostore.Store
 	// MaxInFlight bounds concurrently executing requests. 0 → 4.
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for an execution slot; a waiting
@@ -156,6 +163,7 @@ type Service struct {
 
 	queued    atomic.Int64 // requests waiting for a slot (≤ MaxQueue)
 	latencyNS atomic.Int64 // EWMA of observed execution latency, for Retry-After
+	latency   latencyHist  // coarse request-duration histogram, for /metrics
 	draining  atomic.Bool
 	limiter   *limiter
 	jobs      *jobStore
@@ -183,7 +191,7 @@ func New(opt Options) *Service {
 	}
 	r := opt.Runner
 	if r == nil {
-		r = run.New(run.Options{Parallelism: opt.Parallelism})
+		r = run.New(run.Options{Parallelism: opt.Parallelism, Store: opt.Store})
 	}
 	s := &Service{runner: r, opt: opt, sem: make(chan struct{}, opt.MaxInFlight)}
 	if opt.ClientRate > 0 {
@@ -234,14 +242,20 @@ type SweepRequest struct {
 // CacheStats reports the shared memo cache around one request. Hits/Misses
 // are service-lifetime totals; RequestHits/RequestMisses are the deltas
 // observed across this request — RequestMisses is the number of new
-// simulations the request caused (0 for a fully warm request). Deltas are
-// exact for serial use and approximate when requests overlap (concurrent
-// requests' work is indistinguishable in the shared counters).
+// simulations the request caused (0 for a fully warm request). Tiers breaks
+// the lifetime totals down by store tier (memory LRU vs persistent disk);
+// RequestTiers is the same breakdown as a per-request delta — a restarted
+// daemon serving a warm batch shows request_misses 0 and the work in
+// RequestTiers.DiskHits. Deltas are exact for serial use and approximate
+// when requests overlap (concurrent requests' work is indistinguishable in
+// the shared counters).
 type CacheStats struct {
-	Hits          uint64 `json:"hits"`
-	Misses        uint64 `json:"misses"`
-	RequestHits   uint64 `json:"request_hits"`
-	RequestMisses uint64 `json:"request_misses"`
+	Hits          uint64          `json:"hits"`
+	Misses        uint64          `json:"misses"`
+	RequestHits   uint64          `json:"request_hits"`
+	RequestMisses uint64          `json:"request_misses"`
+	Tiers         memostore.Stats `json:"tiers"`
+	RequestTiers  memostore.Stats `json:"request_tiers"`
 }
 
 // ResultRow is one job outcome: the unified run.Result plus, for sweep
@@ -361,6 +375,7 @@ func (s *Service) releaseFunc() func() {
 // the value is a hint, and a lost update under concurrent completions is
 // harmless.
 func (s *Service) observeLatency(d time.Duration) {
+	s.latency.observe(d)
 	old := s.latencyNS.Load()
 	if old == 0 {
 		s.latencyNS.Store(int64(d))
@@ -485,6 +500,7 @@ func (s *Service) prepareBatch(req BatchRequest) ([]run.Job, error) {
 // the async job path streams rows through it.
 func (s *Service) runBatch(ctx context.Context, jobs []run.Job, onProgress func(run.Progress)) *Response {
 	hits0, misses0 := s.runner.CacheStats()
+	tiers0 := s.runner.TierStats()
 	results, errs := s.runner.RunAllWithProgress(ctx, jobs, onProgress)
 	resp := &Response{Results: make([]ResultRow, len(jobs))}
 	// Jobs cut off by a dead context — skipped outright or abandoned
@@ -522,7 +538,7 @@ func (s *Service) runBatch(ctx context.Context, jobs []run.Job, onProgress func(
 	case skipped > 1:
 		resp.Errors = append(resp.Errors, fmt.Sprintf("%d jobs skipped: %v", skipped, ctxErr))
 	}
-	resp.Cache = s.cacheDelta(hits0, misses0)
+	resp.Cache = s.cacheDelta(hits0, misses0, tiers0)
 	return resp
 }
 
@@ -601,6 +617,7 @@ func (s *Service) prepareSweep(req SweepRequest) (*preparedSweep, error) {
 // the base-relative deltas arrive with the final Response.
 func (s *Service) runSweep(ctx context.Context, ps *preparedSweep, onProgress func(run.Progress)) (*Response, error) {
 	hits0, misses0 := s.runner.CacheStats()
+	tiers0 := s.runner.TierStats()
 	res, err := sweep.Run(ctx, sweep.Config{
 		Base: ps.base, Axes: ps.axes, Workloads: ps.workloads,
 		Runner: s.runner, OnProgress: onProgress,
@@ -620,17 +637,19 @@ func (s *Service) runSweep(ctx context.Context, ps *preparedSweep, onProgress fu
 			BandwidthVsBase: cr.BandwidthVsBase,
 		}
 	}
-	resp.Cache = s.cacheDelta(hits0, misses0)
+	resp.Cache = s.cacheDelta(hits0, misses0, tiers0)
 	return resp, nil
 }
 
 // cacheDelta snapshots the shared cache counters against a request-entry
 // baseline.
-func (s *Service) cacheDelta(hits0, misses0 uint64) CacheStats {
+func (s *Service) cacheDelta(hits0, misses0 uint64, tiers0 memostore.Stats) CacheStats {
 	hits, misses := s.runner.CacheStats()
+	tiers := s.runner.TierStats()
 	return CacheStats{
 		Hits: hits, Misses: misses,
 		RequestHits: hits - hits0, RequestMisses: misses - misses0,
+		Tiers: tiers, RequestTiers: tiers.Sub(tiers0),
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	"riscvmem/internal/kernels/stream"
 	"riscvmem/internal/kernels/transpose"
 	"riscvmem/internal/machine"
+	"riscvmem/internal/memostore"
 	"riscvmem/internal/run"
 	"riscvmem/internal/service"
 	"riscvmem/internal/sim"
@@ -164,6 +165,42 @@ type (
 
 // NewRunner builds a Runner.
 func NewRunner(opt RunnerOptions) *Runner { return run.New(opt) }
+
+// Persistent memo store API (internal/memostore): the Runner memoizes
+// keyed results in a tiered store — a bounded in-memory LRU over an
+// optional on-disk content-addressed tier — so results survive process
+// restarts. OpenResultStore builds one; pass it via RunnerOptions.Store
+// (or ServiceOptions.Store) and every computed Result is persisted under
+// ResultCacheVersion, checksummed, and served back after a restart without
+// re-simulating. Disk faults are never errors: corrupt entries are
+// quarantined and re-simulated, failed persists are counted and logged.
+// cmd/simd exposes the same store via -cache-dir, and the memo tool
+// exports/imports/inspects the directory.
+type (
+	// ResultStore is the tiered memo store interface the Runner caches
+	// through.
+	ResultStore = memostore.Store
+	// ResultTierStats are the per-tier cache counters (memory and disk
+	// hits/misses, evictions, corruption, persists).
+	ResultTierStats = memostore.Stats
+)
+
+// ResultCacheVersion namespaces persisted results: module identity plus the
+// simulation model version. A model change that alters golden cycle counts
+// bumps it, cleanly orphaning all previously persisted entries.
+const ResultCacheVersion = run.CacheVersion
+
+// OpenResultStore builds the standard tiered result store: a bounded
+// in-memory LRU (memEntries entries; <= 0 selects the default) over an
+// on-disk tier rooted at dir. An empty dir yields a memory-only store.
+// logf (optional) receives the disk tier's operational log lines.
+func OpenResultStore(dir string, memEntries int, logf func(format string, args ...any)) (ResultStore, error) {
+	store, err := run.OpenStore(dir, memEntries, logf)
+	if err != nil {
+		return nil, err
+	}
+	return store, nil
+}
 
 // Jobs builds the device × workload cross-product, devices outermost.
 func Jobs(devices []Device, workloads []Workload) []Job {

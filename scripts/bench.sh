@@ -5,9 +5,10 @@
 # the multi-core ParallelRange streaming benchmark (engine-serialized
 # batched miss pipeline), the batched-runner throughput — cold (every job
 # simulates) vs cached (the memoized Runner replays the identical 8-job
-# batch with zero new simulations) — and the service-layer request
-# throughput (the same warm 8-job batch as a full BatchRequest through the
-# Service facade).
+# batch with zero new simulations) — the service-layer request throughput
+# (the same warm 8-job batch as a full BatchRequest through the Service
+# facade), and the restart-warm path (a fresh Service over a persisted
+# cache directory serving an 8-cell batch entirely from the disk tier).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,7 @@ BENCHTIME="${BENCHTIME:-100000000x}"
 PRANGE_BENCHTIME="${PRANGE_BENCHTIME:-20000000x}"
 RUNNER_BENCHTIME="${RUNNER_BENCHTIME:-30x}"
 CACHED_BENCHTIME="${CACHED_BENCHTIME:-20000x}"
+RESTART_BENCHTIME="${RESTART_BENCHTIME:-500x}"
 OUT="BENCH_simthroughput.json"
 
 raw=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$|BenchmarkTouchRangeThroughput$' \
@@ -28,6 +30,8 @@ rawcached=$(go test -run '^$' -bench 'BenchmarkRunnerBatchCached$' \
     -benchtime "$CACHED_BENCHTIME" -count "$COUNT" ./internal/run | grep ns/op)
 rawservice=$(go test -run '^$' -bench 'BenchmarkServiceBatch$' \
     -benchtime "$CACHED_BENCHTIME" -count "$COUNT" ./internal/service | grep ns/op)
+rawrestart=$(go test -run '^$' -bench 'BenchmarkServiceRestartWarm$' \
+    -benchtime "$RESTART_BENCHTIME" -count "$COUNT" ./internal/service | grep ns/op)
 
 median() {
     echo "$2" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n |
@@ -40,6 +44,7 @@ prange=$(median '^BenchmarkParallelRangeThroughput' "$rawprange") \
 runner=$(median '^BenchmarkRunnerBatch(-|$)' "$rawrunner") \
 cached=$(median '^BenchmarkRunnerBatchCached' "$rawcached") \
 service=$(median '^BenchmarkServiceBatch' "$rawservice") \
+restart=$(median '^BenchmarkServiceRestartWarm' "$rawrestart") \
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
 OUT="$OUT" COUNT="$COUNT" python3 - <<'EOF'
 import datetime
@@ -56,6 +61,7 @@ record = {
     "runner_batch_ns_per_op": float(os.environ["runner"]),
     "runner_batch_cached_ns_per_op": float(os.environ["cached"]),
     "service_request_ns_per_op": float(os.environ["service"]),
+    "service_restart_warm_ns_per_op": float(os.environ["restart"]),
     "count": int(os.environ["COUNT"]),
 }
 try:
@@ -77,5 +83,6 @@ print(f"recorded: legacy={record['simulator_throughput_ns_per_op']} ns/op, "
       f"parallelrange={record['parallelrange_throughput_ns_per_op']} ns/op, "
       f"runner_batch={record['runner_batch_ns_per_op']} ns/batch, "
       f"runner_batch_cached={record['runner_batch_cached_ns_per_op']} ns/batch, "
-      f"service_request={record['service_request_ns_per_op']} ns/req -> {out}")
+      f"service_request={record['service_request_ns_per_op']} ns/req, "
+      f"service_restart_warm={record['service_restart_warm_ns_per_op']} ns/req -> {out}")
 EOF

@@ -1,0 +1,182 @@
+// Package analysis is a self-contained, stdlib-only miniature of
+// golang.org/x/tools/go/analysis — just enough framework to write, drive,
+// and fixture-test the simlint analyzers without a module dependency the
+// build environment may not have.
+//
+// The shape mirrors the real thing deliberately: an Analyzer is a named
+// check with a Run function over a Pass (one type-checked package), and
+// diagnostics carry positions. Packages are loaded through the go command
+// itself (`go list -export -deps -json`), so type information comes from
+// the same compiler export data a real build uses — see Load.
+//
+// Two directive families are understood repo-wide:
+//
+//	//simlint:<name>            opt-in marker (e.g. //simlint:deterministic
+//	                            on a package, //simlint:cachekey on a func)
+//	//simlint:allow <analyzers> suppress findings of the named (comma-
+//	                            separated) analyzers on the same or the
+//	                            following line; everything after " -- " is
+//	                            a human-readable justification
+//
+// Suppressions are applied by the driver (Run), not by individual
+// analyzers, so every check gets them uniformly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description `simlint -list` prints.
+	Doc string
+	// Run executes the check over one package. Report findings through
+	// the Pass; the error return is for operational failures only.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed compilation units (build-tag
+	// filtered, no test files), with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types view of the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// directivePrefix introduces every simlint comment directive.
+const directivePrefix = "//simlint:"
+
+// directives yields the raw "name rest" payloads of every simlint
+// directive in the comment group (directive comments are invisible to
+// ast.CommentGroup.Text, so this walks the raw list).
+func directives(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range cg.List {
+		if rest, ok := strings.CutPrefix(c.Text, directivePrefix); ok {
+			out = append(out, strings.TrimSpace(rest))
+		}
+	}
+	return out
+}
+
+// HasPackageDirective reports whether any comment in any of the files
+// carries //simlint:<name> — the package-level opt-in used by the
+// determinism analyzer. Conventionally the directive sits directly above
+// the package clause of the package's main file.
+func HasPackageDirective(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, d := range directives(cg) {
+				if d == name || strings.HasPrefix(d, name+" ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether the function's doc comment carries
+// //simlint:<name>.
+func FuncHasDirective(fn *ast.FuncDecl, name string) bool {
+	for _, d := range directives(fn.Doc) {
+		if d == name || strings.HasPrefix(d, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex maps file → line → the set of analyzer names allowed there,
+// built from //simlint:allow directives.
+type allowIndex map[string]map[int]map[string]bool
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix+"allow")
+				if !ok {
+					continue
+				}
+				// "ctxerr" or "ctxerr,determinism -- reason why".
+				rest = strings.TrimSpace(rest)
+				if i := strings.Index(rest, " -- "); i >= 0 {
+					rest = rest[:i]
+				}
+				names := strings.Split(strings.TrimSpace(rest), ",")
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a diagnostic is suppressed: an allow directive
+// for its analyzer on the same line or the line directly above.
+func (idx allowIndex) allowed(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if set := lines[line]; set != nil && set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

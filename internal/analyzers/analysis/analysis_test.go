@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestAllowDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //simlint:allow ctxerr
+	//simlint:allow determinism,atomicmix -- reason with trailing -- punctuation
+	_ = 2
+	// an ordinary comment mentioning simlint:allow is not a directive
+	_ = 3
+}
+`
+	fset, f := parseOne(t, src)
+	idx := buildAllowIndex(fset, []*ast.File{f})
+
+	diag := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "t.go", Line: line}}
+	}
+	cases := []struct {
+		name string
+		d    Diagnostic
+		want bool
+	}{
+		{"same line", diag("ctxerr", 4), true},
+		{"wrong analyzer same line", diag("determinism", 4), false},
+		{"line below directive", diag("determinism", 6), true},
+		{"second name in list", diag("atomicmix", 6), true},
+		{"reason text not a name", diag("reason", 6), false},
+		{"prose is not a directive", diag("ctxerr", 8), false},
+		{"directive line itself", diag("determinism", 5), true},
+		{"two lines below", diag("determinism", 7), false},
+		{"unrelated line", diag("ctxerr", 2), false},
+	}
+	for _, c := range cases {
+		if got := idx.allowed(c.d); got != c.want {
+			t.Errorf("%s: allowed(%s@%d) = %v, want %v", c.name, c.d.Analyzer, c.d.Pos.Line, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveHelpers(t *testing.T) {
+	src := `// Package doc.
+//simlint:deterministic
+package p
+
+// F does things.
+//
+//simlint:cachekey
+func F() {}
+
+// G has no directive; the word simlint:cachekey in prose does not count
+// because directives must start the comment.
+func G() {}
+`
+	_, f := parseOne(t, src)
+	if !HasPackageDirective([]*ast.File{f}, "deterministic") {
+		t.Error("package directive not found")
+	}
+	if HasPackageDirective([]*ast.File{f}, "nonexistent") {
+		t.Error("nonexistent package directive reported")
+	}
+	var fns []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			fns = append(fns, fn)
+		}
+	}
+	if !FuncHasDirective(fns[0], "cachekey") {
+		t.Error("F's cachekey directive not found")
+	}
+	if FuncHasDirective(fns[1], "cachekey") {
+		t.Error("G reported as carrying the directive (prose mention)")
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run drives every analyzer over every package, applies //simlint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Packages that failed to load or type-check make Run fail: analyzers
+// must only ever see complete type information.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var loadErrs []string
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", pkg.Path, e))
+		}
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("packages failed to load:\n%s", strings.Join(loadErrs, "\n"))
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Path:      pkg.Path,
+				report: func(d Diagnostic) {
+					if !allow.allowed(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,139 @@
+// Package atomicmix flags struct fields that are accessed both through
+// sync/atomic operations and by plain reads or writes.
+//
+// This is the hot-path counter hazard from the Runner's de-locking (PR 5)
+// and the one the parallel discrete-event engine rework will multiply:
+// once any access to a word is atomic, *every* access must be — a plain
+// `f.hits++` racing an `atomic.AddUint64(&f.hits, 1)` is a data race the
+// race detector only catches when both paths actually interleave in a
+// test run. The analyzer catches the mixed pattern statically, package by
+// package.
+//
+// Within one package it collects every field used as the address operand
+// of a sync/atomic call (`atomic.AddUint64(&s.hits, 1)`) and then flags
+// every other selector touching the same field outside an atomic call.
+// The recommended fix is usually to migrate the field to a typed atomic
+// (atomic.Uint64 et al.), which makes plain access unrepresentable —
+// typed atomics are invisible to this analyzer precisely because they
+// cannot be mixed. Deliberate exceptions (a constructor writing before
+// the value escapes) carry //simlint:allow atomicmix with a reason.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"riscvmem/internal/analyzers/analysis"
+)
+
+// Analyzer is the mixed-atomic-access check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both through sync/atomic and by plain " +
+		"reads/writes; migrate such fields to typed atomics",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address feeds a sync/atomic call, and the
+	// selector expressions that are those operands (excluded in pass 2).
+	atomicFields := map[*types.Var]token.Pos{}
+	operand := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call.Pos()
+					}
+					operand[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector reaching one of those fields is a plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || operand[sel] {
+				return true
+			}
+			fv := fieldOf(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if atomicPos, ok := atomicFields[fv]; ok {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic at %s but plainly here; every access must be atomic (prefer a typed atomic like atomic.%s)",
+					fv.Name(), pass.Fset.Position(atomicPos), typedAtomicFor(fv.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call is a sync/atomic package function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it reads, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// typedAtomicFor names the sync/atomic typed wrapper matching a plain
+// field type, for the diagnostic's suggestion.
+func typedAtomicFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Int32:
+		return "Int32"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

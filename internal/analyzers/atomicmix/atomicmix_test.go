@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/analyzers/analysis/analysistest"
+	"riscvmem/internal/analyzers/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "mix")
+}

@@ -1,0 +1,70 @@
+// Package mix is the atomicmix fixture: counters accessed both through
+// sync/atomic and plainly (the PR 5 Runner counter hazard), plus the
+// patterns that must stay clean.
+package mix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters mixes access modes: hits is atomic everywhere, misses is
+// atomic in one place and plain in another.
+type Counters struct {
+	hits   uint64
+	misses uint64
+	// typed is inherently safe: plain access is unrepresentable.
+	typed atomic.Uint64
+	mu    sync.Mutex
+	other int
+}
+
+func (c *Counters) Hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counters) Miss() {
+	atomic.AddUint64(&c.misses, 1)
+}
+
+func (c *Counters) Snapshot() (uint64, uint64) {
+	h := atomic.LoadUint64(&c.hits)
+	m := c.misses // want `field misses is accessed with sync/atomic at .*mix\.go:\d+:\d+ but plainly here`
+	return h, m
+}
+
+func (c *Counters) Reset() {
+	c.misses = 0 // want `field misses is accessed with sync/atomic at .*mix\.go:\d+:\d+ but plainly here`
+	atomic.StoreUint64(&c.hits, 0)
+}
+
+// Typed atomics and never-atomic fields are not flagged, including under
+// a lock.
+func (c *Counters) Other() int {
+	c.typed.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.other++
+	return c.other
+}
+
+// A constructor that must write the field before the value escapes
+// documents itself with an allow directive.
+func NewCounters(seed uint64) *Counters {
+	c := &Counters{}
+	//simlint:allow atomicmix -- value has not escaped yet; no concurrent access is possible
+	c.misses = seed
+	return c
+}
+
+// Plain is a struct whose identically named fields are never touched
+// atomically — same field names must not alias across types.
+type Plain struct {
+	hits   uint64
+	misses uint64
+}
+
+func (p *Plain) Bump() {
+	p.hits++
+	p.misses++
+}

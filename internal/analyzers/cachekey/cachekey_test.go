@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/analyzers/analysis/analysistest"
+	"riscvmem/internal/analyzers/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekey.Analyzer, "enc")
+}

@@ -1,0 +1,86 @@
+// Package enc is the cachekey fixture: canonical encoders in the shape
+// of run.StreamSpec, complete and incomplete.
+package enc
+
+import "strconv"
+
+// Spec stands in for run.WorkloadSpec.
+type Spec struct {
+	Kernel string
+	Params map[string]string
+}
+
+// Config stands in for a kernel Config: three exported fields (all of
+// which must appear in a canonical encoding) and one unexported field
+// (which must not be required).
+type Config struct {
+	Elems   int
+	Reps    int
+	Verify  bool
+	scratch []byte
+}
+
+// Normalized mimics stream.Config.Normalized.
+func (c Config) Normalized() Config {
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// CompleteSpec names every exported Config field.
+//
+//simlint:cachekey
+func CompleteSpec(cfg Config) Spec {
+	cfg = cfg.Normalized()
+	return Spec{Kernel: "complete", Params: map[string]string{
+		"elems":  strconv.Itoa(cfg.Elems),
+		"reps":   strconv.Itoa(cfg.Reps),
+		"verify": strconv.FormatBool(cfg.Verify),
+	}}
+}
+
+// IncompleteSpec dropped the Reps field from the encoding — two configs
+// differing only in Reps would share one cache key. This is the
+// acceptance fixture: removing a field from a canonical encoding makes
+// cachekey fail.
+//
+//simlint:cachekey
+func IncompleteSpec(cfg Config) Spec { // want `canonical encoding IncompleteSpec does not name Config field\(s\) Reps`
+	return Spec{Kernel: "incomplete", Params: map[string]string{
+		"elems":  strconv.Itoa(cfg.Elems),
+		"verify": strconv.FormatBool(cfg.Verify),
+	}}
+}
+
+// UnmarkedSpec has the canonical-encoder shape (exported, *Spec name,
+// single struct param, *Spec result) but no directive: a new kernel must
+// not be able to ship an unchecked encoding.
+func UnmarkedSpec(cfg Config) Spec { // want `UnmarkedSpec looks like a canonical cache-key encoder but has no //simlint:cachekey directive`
+	return Spec{Kernel: "unmarked", Params: map[string]string{
+		"elems": strconv.Itoa(cfg.Elems),
+	}}
+}
+
+// MarkedHelper carries the directive on a differently-shaped function;
+// completeness is still enforced through the pointer parameter.
+//
+//simlint:cachekey
+func MarkedHelper(cfg *Config, out map[string]string) { // want `canonical encoding MarkedHelper does not name Config field\(s\) Verify`
+	out["elems"] = strconv.Itoa(cfg.Elems)
+	out["reps"] = strconv.Itoa(cfg.Reps)
+}
+
+// MisplacedDirective has nothing checkable.
+//
+//simlint:cachekey
+func MisplacedDirective() Spec { // want `MisplacedDirective carries //simlint:cachekey but has no named-struct parameter`
+	return Spec{Kernel: "none"}
+}
+
+// DescribeSpec is the allowed near-miss for the shape heuristic: the
+// result is not a *Spec type, so a summary/debug helper reading only
+// some fields is not mistaken for an encoder.
+func DescribeSpec(cfg Config) string {
+	return "elems=" + strconv.Itoa(cfg.Elems)
+}

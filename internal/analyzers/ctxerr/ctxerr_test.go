@@ -1,0 +1,12 @@
+package ctxerr_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/analyzers/analysis/analysistest"
+	"riscvmem/internal/analyzers/ctxerr"
+)
+
+func TestCtxErr(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxerr.Analyzer, "cmp")
+}

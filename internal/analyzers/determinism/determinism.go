@@ -1,0 +1,277 @@
+// Package determinism checks that opted-in packages — the performance
+// model and every canonical-encoding surface — stay bit-identically
+// deterministic across runs and processes.
+//
+// The whole reproduction rests on that property: golden cycle counts,
+// oracle tests pinning pooled/batched/cached runs bit-identical to fresh
+// ones, and the memo store serving yesterday's result as today's all
+// assume that the same inputs produce the same bytes. The three ways Go
+// code usually loses it silently are wall-clock reads, the process-seeded
+// global math/rand source, and map iteration order escaping into output.
+//
+// A package opts in with a //simlint:deterministic comment (conventionally
+// right above its package clause). Inside such packages the analyzer
+// flags:
+//
+//   - time.Now / time.Since / time.Until — wall-clock timing has no place
+//     in a model whose own clock is simulated cycles;
+//   - global math/rand and math/rand/v2 functions (rand.Intn, rand.Shuffle,
+//     ...) — process-seeded; a model that needs randomness must thread an
+//     explicitly seeded *rand.Rand;
+//   - ranging over a map while appending to a slice that is never sorted
+//     in the same function, sending on a channel, or writing output
+//     (fmt.Print*/Fprint*, strings.Builder / bytes.Buffer writes) — the
+//     iteration order leaks. Collect-then-sort is the allowed pattern:
+//     an append absolved by a later sort.* / slices.* call on the same
+//     slice is fine, as are order-insensitive folds (sums, counters, map
+//     writes).
+//
+// Intentional exceptions carry //simlint:allow determinism with a reason.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"riscvmem/internal/analyzers/analysis"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, and map-iteration order " +
+		"escaping into outputs, in packages marked //simlint:deterministic",
+	Run: run,
+}
+
+// Directive is the package-level opt-in marker.
+const Directive = "deterministic"
+
+func run(pass *analysis.Pass) error {
+	if !analysis.HasPackageDirective(pass.Files, Directive) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Walk with a stack of enclosing function bodies so the map-range
+		// check can look for absolving sorts in the innermost function.
+		var bodies []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+					ast.Inspect(n.Body, walk)
+					bodies = bodies[:len(bodies)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+				ast.Inspect(n.Body, walk)
+				bodies = bodies[:len(bodies)-1]
+				return false
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				var body *ast.BlockStmt
+				if len(bodies) > 0 {
+					body = bodies[len(bodies)-1]
+				}
+				checkMapRange(pass, n, body)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// randConstructors are the math/rand package functions that build a local
+// generator instead of consulting the global source — the sanctioned way
+// to use randomness deterministically.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkgPath, name := calleePackage(pass, call)
+	switch pkgPath {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; a deterministic package must derive timing from simulated state", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			pass.Reportf(call.Pos(),
+				"global %s.%s uses the process-seeded source; thread an explicitly seeded *rand.Rand instead", pathBase(pkgPath), name)
+		}
+	}
+}
+
+// calleePackage resolves a call of the form pkg.Func to its package path
+// and function name; ("", "") for anything else (methods, locals,
+// builtins).
+func calleePackage(pass *analysis.Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+func pathBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand"
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// checkMapRange flags order-sensitive sinks inside a range over a map.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a map range publishes values in map-iteration order")
+		case *ast.CallExpr:
+			checkRangeBodyCall(pass, n, enclosing)
+		}
+		return true
+	})
+}
+
+func checkRangeBodyCall(pass *analysis.Pass, call *ast.CallExpr, enclosing *ast.BlockStmt) {
+	// append(dst, ...) — order-sensitive unless dst is sorted later in the
+	// same function (the collect-then-sort idiom).
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			obj := rootObject(pass, call.Args[0])
+			if obj != nil && !sortedLater(pass, enclosing, obj) {
+				pass.Reportf(call.Pos(),
+					"append to %s inside a map range records map-iteration order; sort it afterwards or iterate sorted keys", obj.Name())
+			}
+			return
+		}
+	}
+
+	// Direct output in iteration order.
+	pkgPath, name := calleePackage(pass, call)
+	if pkgPath == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range writes output in map-iteration order", name)
+		}
+		return
+	}
+
+	// strings.Builder / bytes.Buffer writes accumulate in iteration order.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if recv := pass.TypesInfo.TypeOf(sel.X); recv != nil && isAccumulator(recv) {
+			switch sel.Sel.Name {
+			case "WriteString", "WriteByte", "WriteRune", "Write":
+				pass.Reportf(call.Pos(),
+					"%s inside a map range accumulates output in map-iteration order", sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// isAccumulator reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func isAccumulator(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// rootObject unwraps x.f[i].g chains to the root identifier's object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedLater reports whether the enclosing function contains a
+// sort.* / slices.* call mentioning the object — the absolution for a
+// collect-then-sort append.
+func sortedLater(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _ := calleePackage(pass, call)
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/analyzers/analysis/analysistest"
+	"riscvmem/internal/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "det", "nodirective")
+}

@@ -1,0 +1,125 @@
+// Package det is the determinism fixture: a package opted in via the
+// directive, exercising every flagged pattern and its allowed near-miss.
+//
+//simlint:deterministic
+package det
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// --- wall clock ---
+
+func Clock() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	elapsed := time.Since(t) // want `time\.Since reads the wall clock`
+	_ = time.Until(t) // want `time\.Until reads the wall clock`
+	return int64(elapsed)
+}
+
+// Timer constructions and duration arithmetic are not wall-clock reads.
+func AllowedTime() *time.Timer {
+	return time.NewTimer(2 * time.Millisecond)
+}
+
+// --- global math/rand ---
+
+func GlobalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle uses the process-seeded source`
+	return rand.Intn(10) // want `global rand\.Intn uses the process-seeded source`
+}
+
+// A locally seeded generator is the sanctioned pattern.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// --- map iteration escaping into output ---
+
+func LeakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range records map-iteration order`
+	}
+	return out
+}
+
+// Collect-then-sort is the allowed near-miss: the append is absolved by
+// the later sort on the same slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func PrintOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range writes output`
+	}
+}
+
+func BuildOrder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside a map range accumulates output`
+	}
+	return b.String()
+}
+
+func BufferOrder(m map[string]int) []byte {
+	var b bytes.Buffer
+	for k := range m {
+		b.Write([]byte(k)) // want `Write inside a map range accumulates output`
+	}
+	return b.Bytes()
+}
+
+func SendOrder(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range publishes values`
+	}
+}
+
+// Order-insensitive folds over a map are fine: sums, counters, map
+// writes, error construction.
+func Fold(m map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := map[string]bool{}
+	for k, v := range m {
+		total += v
+		seen[k] = true
+		if v < 0 {
+			_ = fmt.Errorf("negative %s", k)
+		}
+	}
+	return total, seen
+}
+
+// Ranging over a slice is never flagged, whatever the body does.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// An explicit allow directive suppresses a genuine finding (here: the
+// caller is documented to treat the result as an unordered set).
+func AllowedLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//simlint:allow determinism -- result is consumed as an unordered set
+		out = append(out, k)
+	}
+	return out
+}

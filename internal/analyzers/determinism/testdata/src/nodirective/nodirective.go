@@ -1,0 +1,8 @@
+// Package nodirective has NO //simlint:deterministic directive: the
+// analyzer must stay silent here even though the code reads the wall
+// clock — determinism is an opt-in contract, not a global rule.
+package nodirective
+
+import "time"
+
+func Clock() time.Time { return time.Now() }

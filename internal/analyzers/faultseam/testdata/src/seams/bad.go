@@ -1,0 +1,31 @@
+package seams
+
+import "faultinject"
+
+// Discarded seam: the injected error never reaches the caller, so the
+// seam guards nothing.
+func DiscardedFire() {
+	faultinject.Fire(faultinject.PointA) // want `faultinject\.Fire's error is discarded`
+}
+
+// Ad-hoc points dodge the deliberate seam registry.
+func AdHocPoint() error {
+	return faultinject.Fire(faultinject.Point("improvised")) // want `Fire takes a Point constant declared in the faultinject package`
+}
+
+func IndirectPoint() error {
+	p := faultinject.PointB
+	return faultinject.Fire(p) // want `Fire takes a Point constant declared in the faultinject package`
+}
+
+// Tag-only API from an untagged file: compiles in a tagged build (and
+// under tagged vet/tests) but breaks the zero-cost contract.
+func InstallHandler() {
+	faultinject.Set(faultinject.PointA, nil) // want `faultinject\.Set exists only under -tags faultinject`
+}
+
+func CountFired() int {
+	return faultinject.Fired(faultinject.PointB) // want `faultinject\.Fired exists only under -tags faultinject`
+}
+
+var _ faultinject.Handler // want `faultinject\.Handler exists only under -tags faultinject`

@@ -1,0 +1,13 @@
+//go:build faultinject
+
+package seams
+
+import "faultinject"
+
+// Chaos-side code in a //go:build faultinject file may use the whole
+// API — this file does not exist in the untagged build, so the zero-cost
+// contract holds by construction.
+func ArmChaos(err error) {
+	faultinject.Set(faultinject.PointA, faultinject.FailTimes(2, err))
+	_ = faultinject.Fired(faultinject.PointA)
+}

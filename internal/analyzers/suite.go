@@ -1,0 +1,27 @@
+// Package analyzers assembles the simlint invariant suite: the custom
+// static checks that turn this repo's correctness conventions — model
+// determinism, cache-key completeness, atomic access discipline, wrapped-
+// error comparison, zero-cost fault seams — into machine-checked
+// invariants. cmd/simlint is the multichecker binary; each analyzer
+// package documents its invariant and ships analysistest fixtures.
+package analyzers
+
+import (
+	"riscvmem/internal/analyzers/analysis"
+	"riscvmem/internal/analyzers/atomicmix"
+	"riscvmem/internal/analyzers/cachekey"
+	"riscvmem/internal/analyzers/ctxerr"
+	"riscvmem/internal/analyzers/determinism"
+	"riscvmem/internal/analyzers/faultseam"
+)
+
+// Suite returns the full simlint analyzer suite, in stable order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		cachekey.Analyzer,
+		ctxerr.Analyzer,
+		determinism.Analyzer,
+		faultseam.Analyzer,
+	}
+}

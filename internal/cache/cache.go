@@ -7,6 +7,9 @@
 // match the devices studied in the paper; replacement is pluggable because
 // the paper's devices differ exactly there (LRU-like on the C906 and the
 // x86/ARM parts, random replacement on the SiFive U74's L1 and L2).
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package cache
 
 import (

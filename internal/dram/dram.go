@@ -9,6 +9,9 @@
 // is limited by the number of available memory channels"), and prefetch
 // traffic crowding out demand traffic on the bandwidth-starved VisionFive
 // (Fig. 6, "Unit-stride" discussion).
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package dram
 
 import (

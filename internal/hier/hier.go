@@ -21,6 +21,9 @@
 // Inclusive caches, write-back + write-allocate everywhere, posted (non-
 // blocking) write-backs, and demand fills that lazily install prefetched
 // lines match the first-order behaviour of the paper's devices.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package hier
 
 import (

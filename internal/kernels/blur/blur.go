@@ -14,6 +14,9 @@
 //
 // Every variant computes the same interior convolution and is verified
 // against a plain Go reference implementation.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package blur
 
 import (

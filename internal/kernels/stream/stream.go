@@ -14,6 +14,9 @@
 // arrays to fit that level but not the faster ones, runs multi-threaded for
 // shared resources or sequential-×-cores for private ones, repeats, and
 // keeps the maximum.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package stream
 
 import (

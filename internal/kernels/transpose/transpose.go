@@ -6,6 +6,9 @@
 // All variants operate on the same simulated N×N float64 matrix and are
 // verified against the mathematical transpose, so each optimization is
 // measured on a functionally identical computation.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package transpose
 
 import (

@@ -7,6 +7,9 @@
 // calibrated so that simulated STREAM bandwidth lands in the ballpark the
 // paper's Fig. 1 reports (the *ordering* and rough ratios between devices are
 // what the downstream experiments rely on; see DESIGN.md §5).
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package machine
 
 import (

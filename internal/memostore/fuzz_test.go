@@ -1,0 +1,90 @@
+package memostore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzEnvelope builds a fully valid on-disk entry for key k so the corpus
+// contains at least one accepted input; the fuzzer then mutates from there.
+func fuzzEnvelope(k Key) []byte {
+	env := envelope{
+		Magic:    entryMagic,
+		Format:   entryFormat,
+		Version:  k.Version,
+		Device:   k.Device,
+		Workload: k.Workload,
+		Result:   json.RawMessage(`"payload"`),
+	}
+	env.Sum = env.sum()
+	b, err := json.Marshal(env)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FuzzDiskEntryDecode feeds arbitrary bytes to the disk tier's entry
+// decoder by planting them at a key's content address and reading the key
+// back. Whatever the bytes, Get must not panic and must not error out of
+// the cache contract: either the entry validates end to end (a disk hit),
+// or it is quarantined — moved out of the live tree so the next lookup is
+// an ordinary cold miss.
+func FuzzDiskEntryDecode(f *testing.F) {
+	key := testKey(1)
+	valid := fuzzEnvelope(key)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"riscvmem-memo","format":1}`))
+	// Right shape, wrong checksum.
+	f.Add([]byte(`{"magic":"riscvmem-memo","format":1,"version":"riscvmem/vTEST","device":"devA","workload":"w0001","sum":"00","result":"payload"}`))
+	// Valid envelope for a different key planted at this key's address.
+	f.Add(fuzzEnvelope(testKey(2)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := OpenDisk(t.TempDir(), testCodec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := d.entryPath(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		v, tier, ok := d.Get(key)
+		stats := d.Stats()
+		if ok {
+			if tier != TierDisk {
+				t.Fatalf("hit with tier %v, want %v", tier, TierDisk)
+			}
+			if _, isString := v.(string); !isString {
+				t.Fatalf("codec returned %T through a validated entry", v)
+			}
+			if stats.DiskHits != 1 || stats.DiskCorrupt != 0 {
+				t.Fatalf("hit stats = %+v", stats)
+			}
+			return
+		}
+		// Every miss on an existing file is a quarantine: the planted entry
+		// must be gone so the next lookup is a clean cold miss, and the
+		// bytes must be preserved under quarantine/ for post-mortem.
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("rejected entry still present at %s (stat err %v)", path, err)
+		}
+		if stats.DiskCorrupt != 1 || stats.DiskMisses != 1 {
+			t.Fatalf("miss stats = %+v", stats)
+		}
+		qpath := filepath.Join(d.dir, quarantineDir, filepath.Base(path))
+		if _, err := os.Stat(qpath); err != nil {
+			t.Fatalf("quarantined bytes missing: %v", err)
+		}
+		if _, _, ok := d.Get(key); ok {
+			t.Fatal("key hit after its entry was quarantined")
+		}
+	})
+}

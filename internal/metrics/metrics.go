@@ -1,6 +1,9 @@
 // Package metrics implements the paper's §3.3 performance metrics: speedup
 // over the naive implementation and the relative memory-bandwidth
 // utilization that makes low-power and server devices comparable.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package metrics
 
 import "riscvmem/internal/units"

@@ -12,6 +12,9 @@
 // Prefetchers are trained on demand-access line addresses and emit candidate
 // line addresses; the memory hierarchy decides whether a candidate is already
 // resident or in flight and charges channel time for real fills.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package prefetch
 
 import (

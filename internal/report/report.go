@@ -1,6 +1,9 @@
 // Package report renders experiment results as aligned text tables, ASCII
 // bar charts (the terminal stand-ins for the paper's figures), CSV, and
 // JSON.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package report
 
 import (

@@ -21,6 +21,9 @@
 // Simulated results are bit-identical whether a job runs serially on a
 // fresh machine or batched on a pooled one — the oracle tests assert this
 // over the full kernel×variant×device cross-product.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package run
 
 import (

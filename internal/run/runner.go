@@ -503,6 +503,7 @@ func joinBatchErrors(errs []error) error {
 	for _, err := range errs {
 		switch {
 		case err == nil:
+		//simlint:allow ctxerr -- identity is the semantics: only the BARE sentinels runJob returns for skipped jobs collapse; wrapped context errors must keep their entries
 		case err == context.Canceled || err == context.DeadlineExceeded:
 			if ctxErr == nil {
 				ctxErr = err

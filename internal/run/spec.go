@@ -204,7 +204,11 @@ func ParseWorkloadSpec(s string) (WorkloadSpec, error) {
 				}, nil
 			}
 		}
-		return WorkloadSpec{Kernel: canonicalKernelName(kernel)}, nil
+		spec := WorkloadSpec{Kernel: canonicalKernelName(kernel)}
+		if err := spec.validate(); err != nil {
+			return WorkloadSpec{}, err
+		}
+		return spec, nil
 	}
 	if kernel == "" {
 		return WorkloadSpec{}, fmt.Errorf("run: workload spec %q: empty kernel name (want %s)", s, SpecGrammar)
@@ -224,6 +228,12 @@ func ParseWorkloadSpec(s string) (WorkloadSpec, error) {
 			return WorkloadSpec{}, fmt.Errorf("run: workload spec %q: duplicate parameter %q", s, key)
 		}
 		spec.Params[key] = value
+	}
+	// The split on ':' leaves ',' and '=' possible in the kernel (and in
+	// the no-colon path above); validate like the JSON decoder does so no
+	// entry point builds a spec whose canonical string is ambiguous.
+	if err := spec.validate(); err != nil {
+		return WorkloadSpec{}, err
 	}
 	return spec, nil
 }

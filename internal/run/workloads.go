@@ -103,7 +103,10 @@ func init() {
 // complete, order-stable identity for the measurement (the CacheKey of the
 // adapter). The config is normalized first (stream.Config.Normalized), so
 // unset-vs-explicit defaults share one identity. A reflection test pins
-// that no Config field is left out.
+// that no Config field is left out, and the simlint cachekey analyzer
+// enforces the same completeness statically.
+//
+//simlint:cachekey
 func StreamSpec(cfg stream.Config) WorkloadSpec {
 	cfg = cfg.Normalized()
 	return WorkloadSpec{Kernel: "stream", Params: map[string]string{
@@ -117,6 +120,8 @@ func StreamSpec(cfg stream.Config) WorkloadSpec {
 
 // TransposeSpec is the canonical WorkloadSpec encoding of a transposition
 // config (see StreamSpec).
+//
+//simlint:cachekey
 func TransposeSpec(cfg transpose.Config) WorkloadSpec {
 	return WorkloadSpec{Kernel: "transpose", Params: map[string]string{
 		"variant": cfg.Variant.String(),
@@ -128,6 +133,8 @@ func TransposeSpec(cfg transpose.Config) WorkloadSpec {
 
 // BlurSpec is the canonical WorkloadSpec encoding of a Gaussian-blur config
 // (see StreamSpec).
+//
+//simlint:cachekey
 func BlurSpec(cfg blur.Config) WorkloadSpec {
 	return WorkloadSpec{Kernel: "gblur", Params: map[string]string{
 		"variant": cfg.Variant.String(),

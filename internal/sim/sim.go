@@ -12,6 +12,9 @@
 // discrete-event engine that orders all shared-state events by simulated
 // time, making every run bit-for-bit deterministic regardless of host
 // scheduling.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package sim
 
 import (

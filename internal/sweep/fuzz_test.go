@@ -1,0 +1,57 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/sweep"
+)
+
+// FuzzParseAxis drives the "name=v1,v2,..." sweep-axis grammar with
+// arbitrary input. The parser must never panic, and any axis it accepts
+// must be well-formed: a known name, at least one point, and unique
+// point labels (duplicates would collide as sweep cell coordinates).
+func FuzzParseAxis(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"l2=256KiB,1MiB",
+		"l2=off,base",
+		"prefdist=base,4,8",
+		"preframp=on,off",
+		"pref=none",
+		"policy=lru",
+		"dramlat=80,120.5",
+		"maxinflight=1,2,4,8",
+		"l2=",
+		"=256KiB",
+		"unknownaxis=1",
+		"l2=256KiB,256KiB",
+		"L2 = 256KiB , base",
+		"dramlat=-1",
+		"maxinflight=0x10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ax, err := sweep.ParseAxis(s)
+		if err != nil {
+			return
+		}
+		if ax.Name == "" {
+			t.Fatalf("accepted %q with empty axis name", s)
+		}
+		if len(ax.Points) == 0 {
+			t.Fatalf("accepted %q with no points", s)
+		}
+		seen := map[string]bool{}
+		for _, p := range ax.Points {
+			if p.Apply == nil && p.Label != "base" {
+				// Base() is the one sanctioned nil-Apply point (identity).
+				t.Fatalf("accepted %q with a nil Apply on point %q", s, p.Label)
+			}
+			if seen[p.Label] {
+				t.Fatalf("accepted %q with duplicate point label %q", s, p.Label)
+			}
+			seen[p.Label] = true
+		}
+	})
+}

@@ -24,6 +24,9 @@
 // its results are bit-identical to a direct run of the preset (pinned by the
 // package's oracle test), and the memoized Runner makes overlapping sweeps
 // and re-runs nearly free: identical cells simulate exactly once.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package sweep
 
 import (

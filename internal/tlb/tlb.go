@@ -7,6 +7,9 @@
 // 10-entry D-uTLB and 128-entry jTLB (and the U74's 40-entry DTLB / 512-entry
 // L2 TLB, §3.1) thrash long before the caches do. Blocking restores page
 // locality, which is part of why it wins on every device.
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package tlb
 
 import (

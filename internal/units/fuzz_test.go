@@ -1,0 +1,66 @@
+package units_test
+
+import (
+	"testing"
+
+	"riscvmem/internal/units"
+)
+
+// FuzzParseBytes drives the byte-count grammar ("64", "128KiB", "1.5 MiB")
+// with arbitrary input. The parser must never panic; accepted values must
+// be non-negative, and whenever Bytes.String renders the count exactly (an
+// integer multiple of the unit it picks), the rendering must parse back to
+// the same count — the doc promises ParseBytes inverts Bytes.String.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"0",
+		"64",
+		"7 B",
+		"128KiB",
+		"1.5 MiB",
+		"2GiB",
+		" 32 kib ",
+		"-1",
+		"0.5",
+		"1e3",
+		"1e309",
+		"NaN",
+		"Inf",
+		"9223372036854775807",
+		"8GiBGiB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := units.ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if n < 0 {
+			t.Fatalf("ParseBytes(%q) = %d, negative", s, n)
+		}
+		// The unit String picks: largest of GiB/MiB/KiB not exceeding n,
+		// else plain bytes.
+		unit := int64(1)
+		switch {
+		case n >= units.GiB:
+			unit = units.GiB
+		case n >= units.MiB:
+			unit = units.MiB
+		case n >= units.KiB:
+			unit = units.KiB
+		}
+		if n%unit != 0 {
+			return // rendered with a rounded decimal; round trip is lossy by design
+		}
+		rendered := units.Bytes(n).String()
+		back, err := units.ParseBytes(rendered)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q) = %d, but its exact rendering %q does not parse: %v", s, n, rendered, err)
+		}
+		if back != n {
+			t.Fatalf("round trip drifted: %q -> %d -> %q -> %d", s, n, rendered, back)
+		}
+	})
+}

@@ -5,6 +5,9 @@
 // owns the conversion to wall-clock seconds (via the device frequency) and the
 // human-readable formatting used by the reporting layer. Bandwidths follow the
 // STREAM convention of decimal units (1 GB/s = 1e9 bytes per second).
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
 package units
 
 import (

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-shot local mirror of the CI lint job: go vet and the simlint analyzer
+# suite in both build variants (the production build and the -tags
+# faultinject chaos build — they compile different files, so each must be
+# analyzed on its own), then staticcheck and govulncheck when installed.
+# The last two are skipped with a notice rather than failed when absent,
+# so the script works in offline sandboxes; CI installs them and runs all
+# four unconditionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+go vet -tags faultinject ./...
+
+echo "== simlint"
+go run ./cmd/simlint ./...
+go run ./cmd/simlint -tags faultinject ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck"
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck"
+    govulncheck ./...
+else
+    echo "== govulncheck not installed; skipping (CI runs it)"
+fi
+
+echo "lint clean"

@@ -7,10 +7,38 @@
 //
 // Usage:
 //
-//	simd [-addr :8471] [-maxinflight 4] [-maxqueue 0] [-maxjobs 4096]
+//	simd [-mode standalone|coordinator|worker]
+//	     [-addr :8471] [-maxinflight 4] [-maxqueue 0] [-maxjobs 4096]
 //	     [-parallelism 0] [-timeout 60s] [-maxtimeout 5m] [-drain 30s]
 //	     [-jobttl 5m] [-clientrate 0] [-clientburst 0]
 //	     [-cache-dir DIR] [-cache-mem 65536]
+//	     [-coordinator URL] [-worker-id ID] [-heartbeat 1s] [-lease 0]
+//
+// The default mode, standalone, is the single-process daemon described
+// below. The other two modes form a distributed control plane
+// (internal/cluster) with the same client-facing wire protocol:
+//
+//   - coordinator: no simulation happens here. The process serves
+//     /v1/batch and /v1/sweep by sharding cells across registered workers
+//     with a consistent-hash ring keyed by the memo store's own
+//     coordinates (device identity + workload cache key), reassembling
+//     rows in job order. Workers register and poll over /cluster/v1/*;
+//     a worker silent past its -lease is marked lost and its unfinished
+//     cells are requeued onto the survivors. Responses are bit-identical
+//     to a standalone daemon serving the same request.
+//   - worker: wraps the ordinary Service (all flags above apply,
+//     -cache-dir included) and executes cells assigned by the
+//     -coordinator URL. -worker-id defaults to hostname+addr; keep it
+//     stable across restarts to keep the worker's ring shard — and its
+//     warm disk cache — intact. SIGTERM announces drain: unfinished cells
+//     requeue immediately to surviving workers.
+//
+// Cluster quickstart (one coordinator, two workers):
+//
+//	simd -mode coordinator -addr :8470 &
+//	simd -mode worker -addr :8471 -coordinator http://127.0.0.1:8470 &
+//	simd -mode worker -addr :8472 -coordinator http://127.0.0.1:8470 &
+//	curl -s localhost:8470/v1/batch -d '{"workloads":["stream/TRIAD"]}'
 //
 // With -cache-dir the memo cache gains a persistent disk tier: every
 // computed result is content-addressed on disk under DIR, and a restarted
@@ -19,7 +47,8 @@
 // same directory. -cache-mem bounds the in-memory tier (entries, not
 // bytes).
 //
-// Endpoints:
+// Endpoints (standalone and worker; coordinator serves the subset noted
+// above plus /cluster/v1/*):
 //
 //	GET    /healthz        liveness probe (503 {"status":"draining"} during shutdown)
 //	GET    /metrics        Prometheus metrics (cache tiers, admission, jobs, latency)
@@ -29,7 +58,8 @@
 //	POST   /v1/sweep       {"device":..., "axes":[...], "workloads":[...]}
 //	POST   /v1/jobs        {"batch":{...}} or {"sweep":{...}} → 202, poll the ID
 //	GET    /v1/jobs        stored jobs, newest first
-//	GET    /v1/jobs/{id}   job status plus rows accumulated so far
+//	GET    /v1/jobs/{id}   job status plus rows accumulated so far (?after=N
+//	                       returns only rows past the previous next_after)
 //	DELETE /v1/jobs/{id}   request cancellation
 //
 // Workloads may be given as grammar strings ("stream:test=TRIAD,elems=65536",
@@ -59,98 +89,262 @@ import (
 	"syscall"
 	"time"
 
+	"riscvmem/internal/cluster"
 	"riscvmem/internal/run"
 	"riscvmem/internal/service"
 )
 
+// flags collects every command-line knob; which ones apply depends on -mode.
+type flags struct {
+	mode        string
+	addr        string
+	maxInFlight int
+	maxQueue    int
+	maxJobs     int
+	parallelism int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	drainBudget time.Duration
+	jobTTL      time.Duration
+	clientRate  float64
+	clientBurst int
+	cacheDir    string
+	cacheMem    int
+	coordinator string
+	workerID    string
+	heartbeat   time.Duration
+	lease       time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8471", "listen address")
-	maxInFlight := flag.Int("maxinflight", 4, "concurrently executing requests")
-	maxQueue := flag.Int("maxqueue", 0, "requests waiting for a slot before 429; 0 = 2×maxinflight, -1 disables queueing")
-	maxJobs := flag.Int("maxjobs", 4096, "maximum device×workload jobs per request")
-	parallelism := flag.Int("parallelism", 0, "runner worker goroutines; 0 = host CPU count")
-	timeout := flag.Duration("timeout", 60*time.Second, "default per-request execution timeout; 0 = none")
-	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "cap on request-supplied timeouts; 0 = none")
-	drainBudget := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before unfinished jobs are cancelled")
-	jobTTL := flag.Duration("jobttl", 5*time.Minute, "how long finished async jobs stay retrievable")
-	clientRate := flag.Float64("clientrate", 0, "per-client sustained requests/second (X-Client-ID); 0 disables rate limiting")
-	clientBurst := flag.Int("clientburst", 0, "per-client burst size; 0 = max(1, clientrate)")
-	cacheDir := flag.String("cache-dir", "", "directory for the persistent result-cache tier; empty = memory-only")
-	cacheMem := flag.Int("cache-mem", 0, "in-memory cache tier capacity in entries; 0 = default (65536)")
+	var f flags
+	flag.StringVar(&f.mode, "mode", "standalone", "standalone | coordinator | worker")
+	flag.StringVar(&f.addr, "addr", ":8471", "listen address")
+	flag.IntVar(&f.maxInFlight, "maxinflight", 4, "concurrently executing requests")
+	flag.IntVar(&f.maxQueue, "maxqueue", 0, "requests waiting for a slot before 429; 0 = 2×maxinflight, -1 disables queueing")
+	flag.IntVar(&f.maxJobs, "maxjobs", 4096, "maximum device×workload jobs per request")
+	flag.IntVar(&f.parallelism, "parallelism", 0, "runner worker goroutines; 0 = host CPU count")
+	flag.DurationVar(&f.timeout, "timeout", 60*time.Second, "default per-request execution timeout; 0 = none")
+	flag.DurationVar(&f.maxTimeout, "maxtimeout", 5*time.Minute, "cap on request-supplied timeouts; 0 = none")
+	flag.DurationVar(&f.drainBudget, "drain", 30*time.Second, "graceful-drain budget on SIGTERM before unfinished jobs are cancelled")
+	flag.DurationVar(&f.jobTTL, "jobttl", 5*time.Minute, "how long finished async jobs stay retrievable")
+	flag.Float64Var(&f.clientRate, "clientrate", 0, "per-client sustained requests/second (X-Client-ID); 0 disables rate limiting")
+	flag.IntVar(&f.clientBurst, "clientburst", 0, "per-client burst size; 0 = max(1, clientrate)")
+	flag.StringVar(&f.cacheDir, "cache-dir", "", "directory for the persistent result-cache tier; empty = memory-only")
+	flag.IntVar(&f.cacheMem, "cache-mem", 0, "in-memory cache tier capacity in entries; 0 = default (65536)")
+	flag.StringVar(&f.coordinator, "coordinator", "", "coordinator base URL (worker mode; required)")
+	flag.StringVar(&f.workerID, "worker-id", "", "stable worker identity on the hash ring (worker mode); default hostname+addr")
+	flag.DurationVar(&f.heartbeat, "heartbeat", time.Second, "heartbeat interval advertised to workers (coordinator mode)")
+	flag.DurationVar(&f.lease, "lease", 0, "worker liveness lease (coordinator mode); 0 = 3×heartbeat")
 	flag.Parse()
 
-	store, err := run.OpenStore(*cacheDir, *cacheMem, log.Printf)
+	switch f.mode {
+	case "standalone":
+		runStandalone(f)
+	case "coordinator":
+		runCoordinator(f)
+	case "worker":
+		runWorker(f)
+	default:
+		fmt.Fprintf(os.Stderr, "simd: unknown -mode %q (want standalone, coordinator or worker)\n", f.mode)
+		os.Exit(2)
+	}
+}
+
+// newService builds the shared execution facade from the flags (standalone
+// and worker modes).
+func newService(f flags) *service.Service {
+	store, err := run.OpenStore(f.cacheDir, f.cacheMem, log.Printf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simd: opening cache dir:", err)
 		os.Exit(1)
 	}
-	if *cacheDir != "" {
-		log.Printf("simd: persistent result cache at %s (version %s)", *cacheDir, run.CacheVersion)
+	if f.cacheDir != "" {
+		log.Printf("simd: persistent result cache at %s (version %s)", f.cacheDir, run.CacheVersion)
 	}
-
-	svc := service.New(service.Options{
-		Parallelism:    *parallelism,
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		MaxJobs:        *maxJobs,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		JobTTL:         *jobTTL,
-		ClientRate:     *clientRate,
-		ClientBurst:    *clientBurst,
+	return service.New(service.Options{
+		Parallelism:    f.parallelism,
+		MaxInFlight:    f.maxInFlight,
+		MaxQueue:       f.maxQueue,
+		MaxJobs:        f.maxJobs,
+		DefaultTimeout: f.timeout,
+		MaxTimeout:     f.maxTimeout,
+		JobTTL:         f.jobTTL,
+		ClientRate:     f.clientRate,
+		ClientBurst:    f.clientBurst,
 		Store:          store,
 		Logf:           log.Printf,
 	})
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+}
+
+// newServer wraps a handler with the daemon's standard server timeouts.
+func newServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+}
 
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-
+// serve starts the server and returns its fatal-error channel.
+func serve(srv *http.Server, what string) <-chan error {
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("simd listening on %s", *addr)
+		log.Printf("simd %s listening on %s", what, srv.Addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()
+	return errCh
+}
+
+// drainService runs the service's graceful drain under the budget,
+// force-exiting on a second signal, and logs the outcome.
+func drainService(svc *service.Service, sig chan os.Signal, budget time.Duration) {
+	svc.StartDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), budget)
+	drained := make(chan service.DrainReport, 1)
+	go func() { drained <- svc.Drain(drainCtx) }()
+	var rep service.DrainReport
+	select {
+	case rep = <-drained:
+	case s := <-sig:
+		log.Printf("simd: %s received again, forcing exit", s)
+		os.Exit(1)
+	}
+	cancelDrain()
+	if rep.Clean {
+		log.Printf("simd: drained clean in %s", rep.Waited.Round(time.Millisecond))
+	} else {
+		log.Printf("simd: drain budget expired after %s: %d job(s) abandoned, %d request(s) still executing",
+			rep.Waited.Round(time.Millisecond), len(rep.Abandoned), rep.InFlight)
+	}
+}
+
+// shutdown closes the HTTP server's remaining (idle) connections.
+func shutdown(srv *http.Server) {
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
+		os.Exit(1)
+	}
+	log.Print("simd: exit")
+}
+
+// runStandalone is the classic single-process daemon.
+func runStandalone(f flags) {
+	svc := newService(f)
+	srv := newServer(f.addr, service.NewHandler(svc))
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := serve(srv, "")
 
 	select {
 	case s := <-sig:
-		log.Printf("simd: %s received, draining (budget %s; signal again to force exit)", s, *drainBudget)
+		log.Printf("simd: %s received, draining (budget %s; signal again to force exit)", s, f.drainBudget)
 		// Flip /healthz to 503 and stop admitting before anything else, so
 		// load balancers route away while admitted work finishes.
-		svc.StartDrain()
-		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainBudget)
-		drained := make(chan service.DrainReport, 1)
-		go func() { drained <- svc.Drain(drainCtx) }()
-		var rep service.DrainReport
+		drainService(svc, sig, f.drainBudget)
+		// The service is drained; Shutdown only has idle connections left.
+		shutdown(srv)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+// runCoordinator serves the cluster control plane; no simulation happens
+// in this process.
+func runCoordinator(f flags) {
+	coord := cluster.New(cluster.Options{
+		HeartbeatInterval: f.heartbeat,
+		Lease:             f.lease,
+		MaxJobs:           f.maxJobs,
+		DefaultTimeout:    f.timeout,
+		MaxTimeout:        f.maxTimeout,
+		Logf:              log.Printf,
+	})
+	srv := newServer(f.addr, cluster.NewCoordinatorHandler(coord, log.Printf))
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := serve(srv, "coordinator")
+
+	select {
+	case s := <-sig:
+		log.Printf("simd: %s received, closing coordinator", s)
+		// Close first: pending dispatches and long polls unblock, so the
+		// connections Shutdown waits on finish promptly.
+		coord.Close()
+		shutdown(srv)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+// runWorker wraps the ordinary Service with a cluster worker agent. The
+// worker's own HTTP endpoints stay up for /healthz, /metrics and direct
+// requests.
+func runWorker(f flags) {
+	if f.coordinator == "" {
+		fmt.Fprintln(os.Stderr, "simd: -mode worker requires -coordinator URL")
+		os.Exit(2)
+	}
+	id := f.workerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = host + f.addr
+	}
+	svc := newService(f)
+	worker, err := cluster.NewWorker(cluster.WorkerOptions{
+		ID:            id,
+		Addr:          f.addr,
+		Service:       svc,
+		API:           cluster.NewClient(f.coordinator),
+		MaxConcurrent: f.maxInFlight,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+	srv := newServer(f.addr, service.NewHandler(svc))
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := serve(srv, "worker "+id)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- worker.Run(ctx) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("simd: %s received, draining worker (signal again to force exit)", s)
+		// Cancel the agent first: it announces drain so the coordinator
+		// requeues unfinished cells onto surviving workers immediately.
+		cancel()
 		select {
-		case rep = <-drained:
+		case <-workerDone:
 		case s := <-sig:
 			log.Printf("simd: %s received again, forcing exit", s)
 			os.Exit(1)
 		}
-		cancelDrain()
-		if rep.Clean {
-			log.Printf("simd: drained clean in %s", rep.Waited.Round(time.Millisecond))
-		} else {
-			log.Printf("simd: drain budget expired after %s: %d job(s) abandoned, %d request(s) still executing",
-				rep.Waited.Round(time.Millisecond), len(rep.Abandoned), rep.InFlight)
-		}
-		// The service is drained; Shutdown only has idle connections left.
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "simd: shutdown:", err)
-			os.Exit(1)
-		}
-		log.Print("simd: exit")
+		drainService(svc, sig, f.drainBudget)
+		shutdown(srv)
+	case err := <-workerDone:
+		cancel()
+		fmt.Fprintln(os.Stderr, "simd: worker:", err)
+		os.Exit(1)
 	case err := <-errCh:
+		cancel()
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/run"
+	"riscvmem/internal/service"
+)
+
+// BenchmarkClusterSweep measures clustered sweep cost per cell over an
+// in-process coordinator with two workers. The first sweep warms the
+// workers' memo stores; the timed iterations therefore measure the control
+// plane itself — routing, dispatch, row return, reassembly — plus memo
+// lookups, not simulation. scripts/bench.sh records the ns/cell figure as
+// cluster_sweep_ns_per_cell.
+func BenchmarkClusterSweep(b *testing.B) {
+	ctx := context.Background()
+	req := service.SweepRequest{
+		Device: "MangoPi",
+		Axes:   []string{"l2=base,64KiB,128KiB,256KiB", "maxinflight=base,2"},
+		Workloads: []run.WorkloadSpec{
+			run.MustParseWorkloadSpec("stream:test=TRIAD,elems=4096,reps=1"),
+			run.MustParseWorkloadSpec("transpose:variant=Blocking,n=128"),
+		},
+	}
+	plan, err := planSweep(req.Device, req.Axes, req.Workloads, 0)
+	if err != nil {
+		b.Fatalf("planSweep: %v", err)
+	}
+	cells := len(plan.jobs)
+
+	coord := New(Options{})
+	defer coord.Close()
+	w1 := startWorker(b, coord, "w1", nil)
+	w2 := startWorker(b, coord, "w2", nil)
+	defer w2.stop()
+	defer w1.stop()
+	waitForWorkers(b, coord, 2)
+
+	if _, err := coord.Sweep(ctx, req); err != nil {
+		b.Fatalf("warmup sweep: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coord.Sweep(ctx, req); err != nil {
+			b.Fatalf("sweep: %v", err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*cells), "ns/cell")
+}

@@ -1,0 +1,892 @@
+// Package cluster is the distributed control plane over the simulation
+// service: a Coordinator that shards client requests across registered
+// worker agents, and a Worker that executes its share through an ordinary
+// service.Service. It is how one `simd` process becomes a fleet.
+//
+// The division of labor is strict. The coordinator never simulates: it
+// validates requests exactly like the standalone service, splits them into
+// cells, routes every cell to a worker with a consistent-hash ring keyed by
+// (device IdentityString, workload CacheKey) — the persistent memo store's
+// own coordinates, so identical cells always land on the same worker and
+// are deduplicated cluster-wide by that worker's singleflight and warm
+// memo tiers — and reassembles returned rows in job order. Workers own all
+// execution state (admission, machine pool, memo store, drain), reusing
+// internal/service unchanged.
+//
+// Liveness is lease-based: workers heartbeat on the interval the
+// coordinator advertises at registration, and a worker silent past its
+// lease is marked lost — its unfinished cells are requeued onto the
+// surviving ring and its late row returns are revoked, so every response
+// row is delivered exactly once even across worker loss. A draining worker
+// (SIGTERM) announces itself and gets the same requeue, just politely.
+//
+// Because the simulator is deterministic and rows are reassembled in job
+// order, a clustered response is bit-identical to the standalone service's
+// response for the same request — pinned by this package's oracle test
+// over the full kernel × device cross-product, including a worker killed
+// mid-sweep.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"riscvmem/internal/cluster/protocol"
+	"riscvmem/internal/faultinject"
+	"riscvmem/internal/machine"
+	"riscvmem/internal/memostore"
+	"riscvmem/internal/metrics"
+	"riscvmem/internal/run"
+	"riscvmem/internal/service"
+	"riscvmem/internal/sweep"
+)
+
+// API is the coordinator surface a worker speaks — the protocol's five
+// messages. Coordinator implements it directly (in-process clusters,
+// tests, benchmarks); Client implements it over HTTP (real deployments).
+// Both bindings carry exactly the same JSON-shaped values, so a worker
+// cannot tell them apart.
+type API interface {
+	Register(ctx context.Context, req protocol.RegisterRequest) (protocol.RegisterResponse, error)
+	Heartbeat(ctx context.Context, req protocol.HeartbeatRequest) (protocol.HeartbeatResponse, error)
+	Poll(ctx context.Context, req protocol.PollRequest) (protocol.PollResponse, error)
+	ReturnRows(ctx context.Context, req protocol.RowReturn) (protocol.RowAck, error)
+	DrainWorker(ctx context.Context, req protocol.DrainRequest) (protocol.DrainResponse, error)
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// HeartbeatInterval is advertised to workers at registration; 0 → 1s.
+	HeartbeatInterval time.Duration
+	// Lease is the liveness deadline: a worker whose last heartbeat is
+	// older is marked lost and its cells requeued. 0 → 3×HeartbeatInterval.
+	Lease time.Duration
+	// MaxJobs bounds one request's cell count (device × workload or
+	// cell × workload). 0 → 4096.
+	MaxJobs int
+	// AssignmentCells caps the cells handed out per poll, so one slow
+	// worker cannot hoard a whole sweep. 0 → 256.
+	AssignmentCells int
+	// DefaultTimeout / MaxTimeout mirror the service facade's request
+	// timeout knobs (see service.Options); they bound how long a dispatch
+	// waits for its rows.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logf receives operational log lines (worker loss, requeues). Nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator schedules client requests over registered workers. Safe for
+// concurrent use. Close must be called when done (it stops the liveness
+// janitor and unblocks pending polls and dispatches).
+type Coordinator struct {
+	opt Options
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	ring       *ring
+	dispatches map[string]*dispatch
+	unassigned []*cellTask // cells with no live owner (empty ring, requeue fault)
+	seq        uint64      // dispatch/assignment ID counter
+
+	// Counters for /metrics, guarded by mu.
+	workersLost    uint64
+	workersDrained uint64
+	cellsRequeued  uint64
+	rowsAccepted   uint64
+	rowsRevoked    uint64
+	dispatchCount  uint64
+
+	closed      chan struct{}
+	closeOnce   sync.Once
+	janitorDone chan struct{}
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        string
+	addr      string
+	lastBeat  time.Time
+	queue     []*cellTask            // routed here, not yet delivered
+	delivered map[string]*assignment // delivered, awaiting rows
+	wake      chan struct{}          // poll wakeup, capacity 1
+}
+
+// assignment tracks one delivered cell batch until its rows are in.
+type assignment struct {
+	id    string
+	d     *dispatch
+	cells map[int]*cellTask // by global row index; emptied as rows arrive
+}
+
+// dispatch is one client request in flight: its row slots, completion
+// bookkeeping, and the cache work its accepted assignments reported.
+type dispatch struct {
+	id    string
+	kind  string // "batch" or "sweep"
+	sweep *protocol.SweepGrid
+
+	rows      []protocol.Row
+	done      []bool
+	remaining int
+	// outstanding counts delivered assignments not yet closed out (final
+	// Done return, or revocation). The dispatch completes only when every
+	// row is in AND outstanding is 0 — the final returns carry the
+	// assignments' cache deltas, so completing on rows alone would race
+	// the response's cache stats against its own workers.
+	outstanding int
+	failed      bool
+	completed   bool
+	doneCh      chan struct{}
+
+	cacheHits, cacheMisses uint64
+	cacheTiers             memostore.Stats
+}
+
+// cellTask is one routable unit of work: the wire cell, its dispatch, and
+// the shard key that pins it to a ring position.
+type cellTask struct {
+	d    *dispatch
+	cell protocol.Cell
+	key  string
+}
+
+// New builds a Coordinator and starts its liveness janitor.
+func New(opt Options) *Coordinator {
+	if opt.HeartbeatInterval <= 0 {
+		opt.HeartbeatInterval = time.Second
+	}
+	if opt.Lease <= 0 {
+		opt.Lease = 3 * opt.HeartbeatInterval
+	}
+	if opt.MaxJobs <= 0 {
+		opt.MaxJobs = 4096
+	}
+	if opt.AssignmentCells <= 0 {
+		opt.AssignmentCells = 256
+	}
+	c := &Coordinator{
+		opt:         opt,
+		workers:     map[string]*workerState{},
+		ring:        buildRing(nil),
+		dispatches:  map[string]*dispatch{},
+		closed:      make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close stops the janitor and unblocks every pending poll and dispatch.
+// Idempotent.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	<-c.janitorDone
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// janitor periodically expires workers whose lease lapsed. The tick is a
+// fraction of the lease so loss detection latency stays a small multiple
+// of the configured deadline at any scale.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	tick := c.opt.Lease / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case now := <-t.C:
+			c.expire(now)
+		}
+	}
+}
+
+// expire marks every worker with a lapsed lease lost and requeues its
+// unfinished cells.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lapsed []*workerState
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastBeat) > c.opt.Lease {
+			lapsed = append(lapsed, ws)
+		}
+	}
+	// Deterministic drop order (map iteration above is not).
+	sort.Slice(lapsed, func(a, b int) bool { return lapsed[a].id < lapsed[b].id })
+	for _, ws := range lapsed {
+		c.workersLost++
+		c.dropWorkerLocked(ws, "lost (lease expired)")
+	}
+}
+
+// rebuildRingLocked rebuilds the ring over the current workers.
+func (c *Coordinator) rebuildRingLocked() {
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	c.ring = buildRing(ids)
+}
+
+// wake nudges a blocked poll; non-blocking, coalescing.
+func (ws *workerState) wakeUp() {
+	select {
+	case ws.wake <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleLocked routes tasks to their ring owners' queues, or to the
+// unassigned pool when no live worker can own them. Caller holds mu.
+func (c *Coordinator) scheduleLocked(tasks []*cellTask) {
+	for _, t := range tasks {
+		owner := c.ring.owner(t.key)
+		ws := c.workers[owner]
+		if owner == "" || ws == nil {
+			c.unassigned = append(c.unassigned, t)
+			continue
+		}
+		ws.queue = append(ws.queue, t)
+		ws.wakeUp()
+	}
+}
+
+// reassignLocked drains the unassigned pool through the current ring.
+// Caller holds mu; a no-op while the ring is empty.
+func (c *Coordinator) reassignLocked() {
+	if len(c.unassigned) == 0 || len(c.ring.points) == 0 {
+		return
+	}
+	tasks := c.unassigned
+	c.unassigned = nil
+	c.scheduleLocked(tasks)
+}
+
+// dropWorkerLocked removes a worker (lost or draining), revokes its
+// delivered assignments and requeues every cell it had not completed onto
+// the surviving ring. Returns the requeued cell count. Caller holds mu.
+func (c *Coordinator) dropWorkerLocked(ws *workerState, reason string) int {
+	delete(c.workers, ws.id)
+	c.rebuildRingLocked()
+	var tasks []*cellTask
+	for _, t := range ws.queue {
+		if !t.d.failed {
+			tasks = append(tasks, t)
+		}
+	}
+	for _, asn := range ws.delivered {
+		for _, t := range asn.cells {
+			if !t.d.failed {
+				tasks = append(tasks, t)
+			}
+		}
+		asn.d.outstanding--
+		c.maybeCompleteLocked(asn.d)
+	}
+	ws.queue, ws.delivered = nil, nil // revoked: late returns find nothing
+	// Map iteration above is unordered; requeue deterministically.
+	sort.Slice(tasks, func(a, b int) bool {
+		if tasks[a].d.id != tasks[b].d.id {
+			return tasks[a].d.id < tasks[b].d.id
+		}
+		return tasks[a].cell.Index < tasks[b].cell.Index
+	})
+	c.cellsRequeued += uint64(len(tasks))
+	if len(tasks) > 0 {
+		if err := faultinject.Fire(faultinject.ClusterRequeue); err != nil {
+			// Injected requeue fault: divert to the pool — never drop. The
+			// pool drains on the next registration or poll.
+			c.unassigned = append(c.unassigned, tasks...)
+		} else {
+			c.scheduleLocked(tasks)
+		}
+	}
+	// Pool-bound cells (requeue fault, or empty ring) are picked up by
+	// polls; wake every survivor so none sleeps through the handoff.
+	for _, other := range c.workers {
+		other.wakeUp()
+	}
+	c.logf("cluster: worker %s %s: %d cell(s) requeued", ws.id, reason, len(tasks))
+	return len(tasks)
+}
+
+// Register announces a worker (see protocol.RegisterRequest). Registering
+// an ID that is already present replaces the old incarnation: its
+// unfinished cells are requeued first, then the worker rejoins the ring
+// fresh.
+func (c *Coordinator) Register(ctx context.Context, req protocol.RegisterRequest) (protocol.RegisterResponse, error) {
+	if req.WorkerID == "" {
+		return protocol.RegisterResponse{}, errors.New("cluster: register with empty worker_id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.workers[req.WorkerID]; old != nil {
+		c.dropWorkerLocked(old, "replaced by re-registration")
+	}
+	ws := &workerState{
+		id:        req.WorkerID,
+		addr:      req.Addr,
+		lastBeat:  time.Now(),
+		delivered: map[string]*assignment{},
+		wake:      make(chan struct{}, 1),
+	}
+	c.workers[req.WorkerID] = ws
+	c.rebuildRingLocked()
+	c.reassignLocked()
+	// Membership changed: cells queued on other workers keep their queues
+	// (only the pool is rerouted — moving already-queued cells would churn
+	// warm caches for no correctness gain).
+	c.logf("cluster: worker %s registered (%s), %d worker(s) live", req.WorkerID, req.Addr, len(c.workers))
+	return protocol.RegisterResponse{
+		HeartbeatMS: c.opt.HeartbeatInterval.Milliseconds(),
+		LeaseMS:     c.opt.Lease.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's lease. The faultinject seam models a
+// control-channel blackhole: an injected error drops the beat before the
+// lease is touched.
+func (c *Coordinator) Heartbeat(ctx context.Context, req protocol.HeartbeatRequest) (protocol.HeartbeatResponse, error) {
+	if err := faultinject.Fire(faultinject.ClusterHeartbeat); err != nil {
+		return protocol.HeartbeatResponse{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		return protocol.HeartbeatResponse{Reregister: true}, nil
+	}
+	ws.lastBeat = time.Now()
+	return protocol.HeartbeatResponse{OK: true}, nil
+}
+
+// maxPollWait caps a long poll regardless of what the worker asked for.
+const maxPollWait = 60 * time.Second
+
+// Poll hands the worker its next assignment, long-polling up to WaitMS.
+// Returns an empty response when the wait expires with nothing queued.
+func (c *Coordinator) Poll(ctx context.Context, req protocol.PollRequest) (protocol.PollResponse, error) {
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxPollWait {
+		wait = maxPollWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		ws := c.workers[req.WorkerID]
+		if ws == nil {
+			c.mu.Unlock()
+			return protocol.PollResponse{Reregister: true}, nil
+		}
+		c.reassignLocked()
+		if liveQueued(ws.queue) {
+			if err := faultinject.Fire(faultinject.ClusterDispatch); err != nil {
+				// Injected dispatch fault: answer empty, cells stay queued
+				// for a later poll — delayed, never lost.
+				c.mu.Unlock()
+				return protocol.PollResponse{}, nil
+			}
+			if a := c.takeAssignmentLocked(ws); a != nil {
+				c.mu.Unlock()
+				return protocol.PollResponse{Assignment: a}, nil
+			}
+		}
+		wake := ws.wake
+		c.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return protocol.PollResponse{}, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+			return protocol.PollResponse{}, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return protocol.PollResponse{}, ctx.Err()
+		case <-c.closed:
+			timer.Stop()
+			return protocol.PollResponse{}, nil
+		}
+	}
+}
+
+// liveQueued reports whether the queue holds any cell of a live dispatch.
+func liveQueued(queue []*cellTask) bool {
+	for _, t := range queue {
+		if !t.d.failed {
+			return true
+		}
+	}
+	return false
+}
+
+// takeAssignmentLocked pops one assignment off the worker's queue: the
+// longest prefix of cells belonging to the first live dispatch, capped at
+// AssignmentCells (an assignment carries one sweep grid, so it cannot mix
+// dispatches). Cells of failed dispatches are scrubbed in passing. Caller
+// holds mu; returns nil when only dead cells were queued.
+func (c *Coordinator) takeAssignmentLocked(ws *workerState) *protocol.Assignment {
+	var d *dispatch
+	var taken []*cellTask
+	rest := ws.queue[:0]
+	for _, t := range ws.queue {
+		switch {
+		case t.d.failed:
+			// dropped
+		case d == nil && len(taken) < c.opt.AssignmentCells:
+			d = t.d
+			taken = append(taken, t)
+		case t.d == d && len(taken) < c.opt.AssignmentCells:
+			taken = append(taken, t)
+		default:
+			rest = append(rest, t)
+		}
+	}
+	ws.queue = rest
+	if d == nil {
+		return nil
+	}
+	if len(ws.queue) > 0 {
+		ws.wakeUp() // more work behind this assignment: next poll returns fast
+	}
+	c.seq++
+	d.outstanding++
+	asn := &assignment{
+		id:    fmt.Sprintf("a%d", c.seq),
+		d:     d,
+		cells: make(map[int]*cellTask, len(taken)),
+	}
+	out := &protocol.Assignment{ID: asn.id, Kind: d.kind, Sweep: d.sweep}
+	for _, t := range taken {
+		asn.cells[t.cell.Index] = t
+		out.Cells = append(out.Cells, t.cell)
+	}
+	ws.delivered[asn.id] = asn
+	return out
+}
+
+// ReturnRows accepts completed rows from a worker. Rows for revoked
+// assignments — the worker was marked lost or draining and its cells were
+// requeued — are rejected wholesale (Revoked), which is what makes row
+// delivery exactly-once under requeue: for any cell, either the original
+// owner's row was accepted before revocation (the cell is complete and is
+// never requeued) or it was revoked and only the new owner's row counts.
+func (c *Coordinator) ReturnRows(ctx context.Context, req protocol.RowReturn) (protocol.RowAck, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		c.rowsRevoked += uint64(len(req.Rows))
+		return protocol.RowAck{Revoked: true}, nil
+	}
+	asn := ws.delivered[req.AssignmentID]
+	if asn == nil {
+		c.rowsRevoked += uint64(len(req.Rows))
+		return protocol.RowAck{Revoked: true}, nil
+	}
+	accepted := 0
+	for _, row := range req.Rows {
+		t, ok := asn.cells[row.Index]
+		if !ok {
+			continue // duplicate within the assignment; already counted
+		}
+		delete(asn.cells, row.Index)
+		d := t.d
+		if d.failed || d.done[row.Index] {
+			continue
+		}
+		d.rows[row.Index] = row
+		d.done[row.Index] = true
+		d.remaining--
+		accepted++
+	}
+	c.rowsAccepted += uint64(accepted)
+	if req.Done {
+		if req.Cache != nil && !asn.d.failed {
+			asn.d.cacheHits += req.Cache.Hits
+			asn.d.cacheMisses += req.Cache.Misses
+			asn.d.cacheTiers = asn.d.cacheTiers.Add(req.Cache.Tiers)
+		}
+		delete(ws.delivered, req.AssignmentID)
+		asn.d.outstanding--
+		if len(asn.cells) > 0 {
+			// The worker declared the assignment finished without returning
+			// every row (a worker-local failure it could not attribute to
+			// cells); the leftovers go back on the ring.
+			var tasks []*cellTask
+			for _, t := range asn.cells {
+				if !t.d.failed {
+					tasks = append(tasks, t)
+				}
+			}
+			sort.Slice(tasks, func(a, b int) bool { return tasks[a].cell.Index < tasks[b].cell.Index })
+			c.cellsRequeued += uint64(len(tasks))
+			c.scheduleLocked(tasks)
+			c.logf("cluster: assignment %s finished incomplete on %s: %d cell(s) requeued",
+				req.AssignmentID, req.WorkerID, len(tasks))
+		}
+		c.maybeCompleteLocked(asn.d)
+	}
+	return protocol.RowAck{Accepted: accepted}, nil
+}
+
+// maybeCompleteLocked closes a dispatch whose rows are all in and whose
+// delivered assignments have all closed out (so every cache delta that
+// will ever arrive has arrived). Caller holds mu.
+func (c *Coordinator) maybeCompleteLocked(d *dispatch) {
+	if !d.completed && !d.failed && d.remaining == 0 && d.outstanding == 0 {
+		d.completed = true
+		close(d.doneCh)
+	}
+}
+
+// DrainWorker removes a departing worker and requeues everything it has
+// not completed. The worker's already-returned rows stay accepted.
+func (c *Coordinator) DrainWorker(ctx context.Context, req protocol.DrainRequest) (protocol.DrainResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		return protocol.DrainResponse{}, nil
+	}
+	c.workersDrained++
+	n := c.dropWorkerLocked(ws, "draining")
+	return protocol.DrainResponse{Requeued: n}, nil
+}
+
+// Workers reports the live worker count.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// ---- client-facing request path -----------------------------------------
+
+// shardKey builds a cell's ring coordinate: the device's canonical
+// identity encoding plus the workload's cache key — exactly the persistent
+// memo store's key coordinates, so cells co-locate with their cached
+// results. Workloads that are not Keyed fall back to their Name (no cached
+// result exists to co-locate with; the key only needs determinism).
+func shardKey(spec machine.Spec, w run.Workload) string {
+	id, _ := spec.IdentityString()
+	wkey := w.Name()
+	if kw, ok := w.(run.Keyed); ok {
+		wkey = kw.CacheKey()
+	}
+	return id + "\x00" + wkey
+}
+
+// invalid wraps an error as the service layer's ValidationError so
+// transports map it to 400 exactly like the standalone daemon.
+func invalid(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &service.ValidationError{Err: err}
+}
+
+// timeoutCtx mirrors service.timeoutCtx over the coordinator's options.
+func (c *Coordinator) timeoutCtx(ctx context.Context, opt service.RequestOptions) (context.Context, context.CancelFunc) {
+	d := c.opt.DefaultTimeout
+	if opt.TimeoutMS > 0 {
+		d = time.Duration(opt.TimeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if c.opt.MaxTimeout > 0 && d > c.opt.MaxTimeout {
+		d = c.opt.MaxTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// newDispatch allocates a dispatch with n row slots. Caller holds mu.
+func (c *Coordinator) newDispatchLocked(kind string, grid *protocol.SweepGrid, n int) *dispatch {
+	c.seq++
+	c.dispatchCount++
+	d := &dispatch{
+		id:        fmt.Sprintf("d%d", c.seq),
+		kind:      kind,
+		sweep:     grid,
+		rows:      make([]protocol.Row, n),
+		done:      make([]bool, n),
+		remaining: n,
+		doneCh:    make(chan struct{}),
+	}
+	c.dispatches[d.id] = d
+	return d
+}
+
+// await blocks until the dispatch has every row, the caller's context
+// ends, or the coordinator closes. On any outcome the dispatch is
+// unregistered; on failure it is marked so stray cells and late rows are
+// dropped.
+func (c *Coordinator) await(ctx context.Context, d *dispatch) error {
+	var err error
+	select {
+	case <-d.doneCh:
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-c.closed:
+		err = errors.New("cluster: coordinator closed")
+	}
+	c.mu.Lock()
+	delete(c.dispatches, d.id)
+	if err != nil {
+		d.failed = true
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// cacheStats renders the dispatch's aggregated per-assignment deltas as
+// the response's cache stats. A clustered response is request-scoped on
+// both axes: the coordinator holds no cache of its own, so lifetime
+// counters of individual workers would be misleading here.
+func (d *dispatch) cacheStats() service.CacheStats {
+	return service.CacheStats{
+		Hits: d.cacheHits, Misses: d.cacheMisses,
+		RequestHits: d.cacheHits, RequestMisses: d.cacheMisses,
+		Tiers: d.cacheTiers, RequestTiers: d.cacheTiers,
+	}
+}
+
+// Batch executes a device × workload cross-product across the cluster,
+// with service.Batch's request semantics: validation failures reject the
+// call, per-cell failures land in the rows.
+func (c *Coordinator) Batch(ctx context.Context, req service.BatchRequest) (*service.Response, error) {
+	devices, err := resolveDeviceNames(req.Devices)
+	if err != nil {
+		return nil, invalid(err)
+	}
+	workloads := make([]run.Workload, len(req.Workloads))
+	for i, spec := range req.Workloads {
+		if workloads[i], err = run.NewWorkload(spec); err != nil {
+			return nil, invalid(err)
+		}
+	}
+	if len(workloads) == 0 {
+		return nil, invalid(errors.New("service: request names no workloads"))
+	}
+	if n := len(devices) * len(workloads); n > c.opt.MaxJobs {
+		return nil, invalid(fmt.Errorf("service: request is %d jobs, limit %d", n, c.opt.MaxJobs))
+	}
+	ctx, cancel := c.timeoutCtx(ctx, req.Options)
+	defer cancel()
+
+	c.mu.Lock()
+	d := c.newDispatchLocked("batch", nil, len(devices)*len(workloads))
+	tasks := make([]*cellTask, 0, d.remaining)
+	for di, dev := range devices {
+		for wi, w := range workloads {
+			spec := req.Workloads[wi]
+			tasks = append(tasks, &cellTask{
+				d: d,
+				cell: protocol.Cell{
+					Index:    di*len(workloads) + wi,
+					Device:   dev.Name,
+					Workload: &spec,
+				},
+				key: shardKey(dev, w),
+			})
+		}
+	}
+	c.scheduleLocked(tasks)
+	c.mu.Unlock()
+
+	if err := c.await(ctx, d); err != nil {
+		return nil, err
+	}
+	resp := &service.Response{Results: make([]service.ResultRow, len(d.rows)), Cache: d.cacheStats()}
+	for i, row := range d.rows {
+		resp.Results[i] = service.ResultRow{Result: row.Result, Error: row.Error}
+		if row.Error != "" {
+			resp.Errors = append(resp.Errors, row.Error)
+		}
+	}
+	return resp, nil
+}
+
+// Sweep executes a device-parameter ablation across the cluster: the grid
+// is expanded once here (for routing keys, row count and labels) and again
+// on each worker (for execution) — sweep.Expand is deterministic, so both
+// see the same cells. Base-relative deltas are computed here from the
+// reassembled grid, exactly as sweep.Run computes them.
+func (c *Coordinator) Sweep(ctx context.Context, req service.SweepRequest) (*service.Response, error) {
+	plan, err := planSweep(req.Device, req.Axes, req.Workloads, c.opt.MaxJobs)
+	if err != nil {
+		return nil, invalid(err)
+	}
+	ctx, cancel := c.timeoutCtx(ctx, req.Options)
+	defer cancel()
+
+	grid := &protocol.SweepGrid{Device: req.Device, Axes: req.Axes, Workloads: req.Workloads}
+	c.mu.Lock()
+	d := c.newDispatchLocked("sweep", grid, len(plan.jobs))
+	tasks := make([]*cellTask, len(plan.jobs))
+	for j, job := range plan.jobs {
+		tasks[j] = &cellTask{
+			d:    d,
+			cell: protocol.Cell{Index: j, SweepJob: j},
+			key:  shardKey(job.Device, job.Workload),
+		}
+	}
+	c.scheduleLocked(tasks)
+	c.mu.Unlock()
+
+	if err := c.await(ctx, d); err != nil {
+		return nil, err
+	}
+	for _, row := range d.rows {
+		if row.Error != "" {
+			// Mirror the standalone sweep path: any cell failure aborts the
+			// sweep wholesale — base-relative deltas over a torn grid would
+			// be meaningless.
+			return nil, &service.ExecutionError{Err: fmt.Errorf("sweep on %s: %s", req.Device, row.Error)}
+		}
+	}
+	W := len(plan.workloads)
+	resp := &service.Response{Results: make([]service.ResultRow, 0, plan.reported*W), Cache: d.cacheStats()}
+	for ci := 0; ci < plan.reported; ci++ {
+		for wi := 0; wi < W; wi++ {
+			got := d.rows[ci*W+wi].Result
+			base := d.rows[plan.baseIdx*W+wi].Result
+			bwRatio := 0.0
+			if base.Bandwidth > 0 {
+				bwRatio = float64(got.Bandwidth) / float64(base.Bandwidth)
+			}
+			resp.Results = append(resp.Results, service.ResultRow{
+				Result:          got,
+				Cell:            plan.cells[ci].Labels,
+				Speedup:         metrics.Speedup(base.Seconds, got.Seconds),
+				BandwidthVsBase: bwRatio,
+			})
+		}
+	}
+	return resp, nil
+}
+
+// resolveDeviceNames maps preset names to specs; empty means all presets
+// (service.resolveDevices' convention).
+func resolveDeviceNames(names []string) ([]machine.Spec, error) {
+	if len(names) == 0 {
+		return machine.All(), nil
+	}
+	out := make([]machine.Spec, len(names))
+	for i, name := range names {
+		spec, err := machine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = spec
+	}
+	return out, nil
+}
+
+// sweepPlan is a sweep grid's deterministic expansion: the job list both
+// the coordinator (routing, reassembly, deltas) and every worker
+// (execution) derive independently from the same (device, axes, workloads)
+// recipe.
+type sweepPlan struct {
+	base      machine.Spec
+	cells     []sweep.Cell // reported grid first, synthetic base cell (if any) last
+	reported  int          // cells visible in the response
+	baseIdx   int          // index of the base cell in cells
+	workloads []run.Workload
+	jobs      []run.Job // cells outermost, workloads innermost
+}
+
+// planSweep validates and expands a sweep grid, replicating sweep.Run's
+// cell layout: when no axis carries a base point, a synthetic base cell is
+// appended (it is simulated for the deltas' denominator but not reported).
+// maxJobs > 0 bounds the grid from the axis point counts BEFORE expanding
+// (Expand deep-clones a Spec per cell); workers pass 0 — the coordinator
+// already bounded the grid they are re-deriving.
+func planSweep(device string, axes []string, specs []run.WorkloadSpec, maxJobs int) (*sweepPlan, error) {
+	if device == "" {
+		return nil, errors.New("service: sweep request names no device")
+	}
+	base, err := machine.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := sweep.ParseAxes(axes)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("service: request names no workloads")
+	}
+	workloads := make([]run.Workload, len(specs))
+	for i, spec := range specs {
+		if workloads[i], err = run.NewWorkload(spec); err != nil {
+			return nil, err
+		}
+	}
+	if maxJobs > 0 {
+		cellCount := 1
+		for _, ax := range parsed {
+			if len(ax.Points) == 0 {
+				continue // Expand reports the precise error
+			}
+			cellCount *= len(ax.Points)
+			if cellCount > maxJobs {
+				return nil, fmt.Errorf("service: sweep is at least %d cells, limit %d jobs", cellCount, maxJobs)
+			}
+		}
+		if n := cellCount * len(workloads); n > maxJobs {
+			return nil, fmt.Errorf("service: sweep is %d jobs, limit %d", n, maxJobs)
+		}
+	}
+	cells, err := sweep.Expand(base, parsed)
+	if err != nil {
+		return nil, err
+	}
+	plan := &sweepPlan{base: base, reported: len(cells), baseIdx: -1, workloads: workloads}
+	for i, c := range cells {
+		if c.Base {
+			plan.baseIdx = i
+			break
+		}
+	}
+	if plan.baseIdx < 0 {
+		cells = append(cells, sweep.Cell{Spec: base, Base: true})
+		plan.baseIdx = len(cells) - 1
+	}
+	plan.cells = cells
+	plan.jobs = make([]run.Job, 0, len(cells)*len(workloads))
+	for _, c := range cells {
+		for _, w := range workloads {
+			plan.jobs = append(plan.jobs, run.Job{Device: c.Spec, Workload: w})
+		}
+	}
+	return plan, nil
+}

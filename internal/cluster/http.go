@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"riscvmem/internal/service"
+)
+
+// maxBodyBytes bounds request bodies, matching the service handler's cap.
+const maxBodyBytes = 1 << 20
+
+// NewCoordinatorHandler fronts a Coordinator with HTTP. The client-facing
+// half is wire-compatible with the standalone daemon — a client cannot
+// tell a coordinator from a simd serving the same requests:
+//
+//	GET  /healthz        {"status":"ok","workers":N}
+//	GET  /metrics        Prometheus text exposition (see Coordinator.WriteMetrics)
+//	GET  /v1/devices     device presets (identical to the standalone listing)
+//	GET  /v1/workloads   kernels, params, grammar, sweep axes
+//	POST /v1/batch       service.BatchRequest → service.Response, sharded over workers
+//	POST /v1/sweep       service.SweepRequest → service.Response, sharded over workers
+//
+// The worker-facing half is the protocol package over POST + JSON:
+//
+//	POST /cluster/v1/register    protocol.RegisterRequest → RegisterResponse
+//	POST /cluster/v1/heartbeat   protocol.HeartbeatRequest → HeartbeatResponse
+//	POST /cluster/v1/poll        protocol.PollRequest → PollResponse (long-poll)
+//	POST /cluster/v1/rows        protocol.RowReturn → RowAck
+//	POST /cluster/v1/drain       protocol.DrainRequest → DrainResponse
+//
+// Errors follow the service taxonomy exactly (service.WriteError): 400 for
+// validation failures, 504 for expired request deadlines, 500 otherwise.
+func NewCoordinatorHandler(c *Coordinator, logf func(format string, args ...any)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "workers": c.Workers(),
+		}, logf)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.WriteMetrics(w); err != nil && logf != nil {
+			logf("cluster: writing /metrics response: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, service.ListDevices(), logf)
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, service.ListWorkloads(), logf)
+	})
+	mux.HandleFunc("POST /v1/batch", bridge(logf, c.Batch))
+	mux.HandleFunc("POST /v1/sweep", bridge(logf, c.Sweep))
+	mux.HandleFunc("POST /cluster/v1/register", bridge(logf, c.Register))
+	mux.HandleFunc("POST /cluster/v1/heartbeat", bridge(logf, c.Heartbeat))
+	mux.HandleFunc("POST /cluster/v1/poll", bridge(logf, c.Poll))
+	mux.HandleFunc("POST /cluster/v1/rows", bridge(logf, c.ReturnRows))
+	mux.HandleFunc("POST /cluster/v1/drain", bridge(logf, c.DrainWorker))
+	return mux
+}
+
+// bridge adapts one (ctx, request) → (response, error) method to HTTP:
+// strict JSON in, taxonomy-mapped JSON out. The request context rides
+// along, so a long poll ends when the polling worker hangs up.
+func bridge[Req, Resp any](logf func(string, ...any), fn func(ctx context.Context, req Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			service.WriteJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("bad request body: %v", err)}, logf)
+			return
+		}
+		if dec.More() {
+			service.WriteJSON(w, http.StatusBadRequest,
+				map[string]string{"error": "bad request body: trailing data after JSON value"}, logf)
+			return
+		}
+		resp, err := fn(r.Context(), req)
+		if err != nil {
+			service.WriteError(w, err, logf)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, resp, logf)
+	}
+}

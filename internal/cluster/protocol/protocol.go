@@ -1,0 +1,170 @@
+// Package protocol defines the transport-agnostic messages of the riscvmem
+// cluster control plane: worker registration, heartbeats, cell assignment,
+// row return, and drain. Every message is a plain JSON-serializable value —
+// nothing about Go closures, channels, or internal pointers on the wire —
+// mirroring how service.NewHandler keeps the request facade independent of
+// HTTP. The coordinator (internal/cluster.Coordinator) implements the
+// server side of these messages directly as methods, so an in-process
+// cluster, an httptest cluster, and a three-process deployment all speak
+// exactly the same protocol; internal/cluster.Client is the HTTP binding.
+//
+// The conversation is strictly worker-initiated (register → heartbeat ∥
+// poll → return rows → drain), so workers need no listening address and the
+// coordinator never dials: one reachable endpoint is the whole topology.
+//
+// Deterministic by contract: bit-identical outputs across runs and
+// processes (see DESIGN.md §11); machine-checked by simlint.
+//simlint:deterministic
+package protocol
+
+import (
+	"riscvmem/internal/memostore"
+	"riscvmem/internal/run"
+)
+
+// RegisterRequest announces a worker to the coordinator. Re-registering an
+// ID that is currently lost or draining replaces the old incarnation: the
+// worker rejoins the ring fresh, with no outstanding assignments.
+type RegisterRequest struct {
+	// WorkerID names the worker; it is the worker's identity on the hash
+	// ring, so a stable ID across restarts preserves shard affinity (and
+	// with it the worker's warm memo store).
+	WorkerID string `json:"worker_id"`
+	// Addr is the worker's own service address, informational only (logs,
+	// metrics labels): the coordinator never dials a worker.
+	Addr string `json:"addr,omitempty"`
+	// Capacity hints how many cells the worker wants per assignment;
+	// 0 lets the coordinator choose.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// RegisterResponse tells the worker its obligations.
+type RegisterResponse struct {
+	// HeartbeatMS is how often the worker must heartbeat.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// LeaseMS is the liveness deadline: a worker silent for longer is
+	// marked lost and its unfinished cells are requeued.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// HeartbeatRequest refreshes a worker's lease. Heartbeats (and
+// registration) are the only liveness signal — deliberately not polls or
+// row returns, so a blackholed control channel fails fast and
+// deterministically even while data still flows.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// HeartbeatResponse acknowledges a beat. Reregister is set when the
+// coordinator no longer knows the worker (it was marked lost, or the
+// coordinator restarted); the worker must register again before polling.
+type HeartbeatResponse struct {
+	OK         bool `json:"ok"`
+	Reregister bool `json:"reregister,omitempty"`
+}
+
+// PollRequest asks for work. The call long-polls: the coordinator holds it
+// open up to WaitMS waiting for cells to arrive on the worker's queue.
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMS   int64  `json:"wait_ms,omitempty"`
+}
+
+// PollResponse carries at most one assignment; nil means the wait expired
+// with nothing queued (poll again). Reregister as in HeartbeatResponse.
+type PollResponse struct {
+	Assignment *Assignment `json:"assignment,omitempty"`
+	Reregister bool        `json:"reregister,omitempty"`
+}
+
+// Assignment is one batch of cells for one worker. Cells of one assignment
+// always belong to one dispatch (one client request), so a sweep's grid
+// context is carried once, not per cell.
+type Assignment struct {
+	ID string `json:"id"`
+	// Kind is "batch" or "sweep".
+	Kind string `json:"kind"`
+	// Sweep carries the grid the cells index into; nil for batch
+	// assignments.
+	Sweep *SweepGrid `json:"sweep,omitempty"`
+	Cells []Cell     `json:"cells"`
+}
+
+// SweepGrid names a sweep's deterministic expansion: the worker re-expands
+// (device, axes) locally — sweep.Expand is a pure function of them — and
+// executes the cells it was assigned by job index. Shipping the recipe
+// instead of the expanded machine.Spec keeps the protocol serializable
+// (a Spec may carry function-valued fields) and the expansion single-source.
+type SweepGrid struct {
+	Device    string             `json:"device"`
+	Axes      []string           `json:"axes,omitempty"`
+	Workloads []run.WorkloadSpec `json:"workloads"`
+}
+
+// Cell is one unit of assignable work: a (device, workload) pair for batch
+// dispatches, or a job index into the sweep grid for sweep dispatches.
+// Index is the cell's row position in the client's response, assigned by
+// the coordinator and echoed back with the row so reassembly is in job
+// order regardless of completion order.
+type Cell struct {
+	Index int `json:"index"`
+	// Device and Workload describe a batch cell (preset name + spec).
+	Device   string            `json:"device,omitempty"`
+	Workload *run.WorkloadSpec `json:"workload,omitempty"`
+	// SweepJob indexes the sweep grid's job list (cells outermost,
+	// workloads innermost, synthetic base cell last when the axes omit
+	// base points); meaningful only for sweep assignments.
+	SweepJob int `json:"sweep_job,omitempty"`
+}
+
+// Row is one completed cell: the deterministic simulator's Result — which
+// JSON round-trips bit-identically (finite float64s re-decode exactly) —
+// or the cell's error.
+type Row struct {
+	Index  int        `json:"index"`
+	Result run.Result `json:"result"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// RowReturn streams completed rows back to the coordinator. A worker may
+// return an assignment's rows across several calls (the serialized
+// progress path flushes in chunks); Done marks the final call, carrying
+// the assignment-level cache delta.
+type RowReturn struct {
+	WorkerID     string `json:"worker_id"`
+	AssignmentID string `json:"assignment_id"`
+	Rows         []Row  `json:"rows,omitempty"`
+	Done         bool   `json:"done,omitempty"`
+	// Cache is the worker-side request delta for this assignment (set with
+	// Done): how many of its cells hit the worker's memo store, per tier.
+	// The coordinator aggregates accepted deltas into the response — and
+	// discards revoked ones, so a requeued cell is never double-counted.
+	Cache *CacheDelta `json:"cache,omitempty"`
+}
+
+// CacheDelta is the cache work one assignment caused on one worker.
+type CacheDelta struct {
+	Hits   uint64          `json:"hits"`
+	Misses uint64          `json:"misses"`
+	Tiers  memostore.Stats `json:"tiers"`
+}
+
+// RowAck acknowledges a RowReturn. Revoked tells the worker the assignment
+// is no longer valid (the worker was marked lost or draining and the cells
+// were requeued): the worker should abandon the assignment's remaining
+// work — nothing it returns for it will be accepted.
+type RowAck struct {
+	Accepted int  `json:"accepted"`
+	Revoked  bool `json:"revoked,omitempty"`
+}
+
+// DrainRequest announces that a worker is shutting down: the coordinator
+// stops assigning to it and requeues everything it has not completed.
+type DrainRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// DrainResponse reports the requeue.
+type DrainResponse struct {
+	Requeued int `json:"requeued"`
+}

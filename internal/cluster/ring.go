@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the live workers. Each worker
+// contributes ringReplicas virtual points; a cell's shard key — the
+// concatenation of the device's canonical IdentityString and the
+// workload's CacheKey, exactly the persistent memo store's coordinates —
+// maps to the first point clockwise from the key's hash.
+//
+// Two properties matter here:
+//
+//   - Affinity: identical cells always land on the same worker while
+//     membership is stable, so a repeated cell is deduplicated
+//     cluster-wide by that worker's singleflight, and a re-run finds that
+//     worker's memo store warm.
+//   - Stability under churn: when a worker joins or leaves, only the keys
+//     adjacent to its points move — the rest of the cluster's warm caches
+//     stay warm.
+//
+// The hash is FNV-1a, not maphash: the mapping must be deterministic
+// across processes and coordinator restarts (a restarted coordinator
+// should route cells to the workers whose disk caches already hold them).
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// ringReplicas is the virtual-point count per worker: enough to spread a
+// handful of workers evenly, cheap enough to rebuild on every membership
+// change.
+const ringReplicas = 64
+
+// hashKey maps a shard key onto the ring's key space.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// buildRing constructs the ring over the given worker IDs. An empty worker
+// set yields an empty ring (owner returns "").
+func buildRing(workers []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*ringReplicas)}
+	for _, w := range workers {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("%s#%d", w, i)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break by worker ID so the mapping is deterministic even on
+		// the (vanishing) chance of a 64-bit hash collision.
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+// owner returns the worker owning the shard key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise
+	}
+	return r.points[i].worker
+}

@@ -44,4 +44,23 @@ const (
 	// logged but never fails the request that produced the result, and the
 	// result is still served from the memory tier afterwards.
 	MemoPersist Point = "memostore.persist"
+	// ClusterDispatch fires in cluster.Coordinator when a worker's poll is
+	// about to be answered with an assignment; a handler error makes the
+	// poll return empty and the cells stay queued for a later poll.
+	// Guards: a delayed dispatch never loses or duplicates cells — the
+	// sweep still completes, every row exactly once.
+	ClusterDispatch Point = "cluster.dispatch"
+	// ClusterHeartbeat fires in cluster.Coordinator when a worker
+	// heartbeat arrives, before the lease is refreshed; a handler error
+	// drops the beat (a control-channel blackhole). Guards: a worker whose
+	// heartbeats vanish is marked lost within its lease, its unfinished
+	// cells are requeued onto survivors exactly once, and its late row
+	// returns are revoked rather than double-counted.
+	ClusterHeartbeat Point = "cluster.heartbeat"
+	// ClusterRequeue fires in cluster.Coordinator as cells from a lost or
+	// draining worker are rehashed onto the surviving ring; a handler
+	// error diverts the cells to the unassigned pool instead of a direct
+	// queue placement. Guards: requeue is never lossy — pooled cells are
+	// still delivered by the next poll.
+	ClusterRequeue Point = "cluster.requeue"
 )

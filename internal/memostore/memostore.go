@@ -106,6 +106,21 @@ func (s Stats) Sub(base Stats) Stats {
 	}
 }
 
+// Add returns the counter sums s + other — the aggregation the cluster
+// coordinator uses to fold per-worker tier deltas into one response.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		MemoryHits:      s.MemoryHits + other.MemoryHits,
+		MemoryMisses:    s.MemoryMisses + other.MemoryMisses,
+		MemoryEvictions: s.MemoryEvictions + other.MemoryEvictions,
+		DiskHits:        s.DiskHits + other.DiskHits,
+		DiskMisses:      s.DiskMisses + other.DiskMisses,
+		DiskCorrupt:     s.DiskCorrupt + other.DiskCorrupt,
+		DiskWrites:      s.DiskWrites + other.DiskWrites,
+		DiskWriteErrors: s.DiskWriteErrors + other.DiskWriteErrors,
+	}
+}
+
 // Store is the tiered cache surface the Runner talks to. Implementations
 // are safe for concurrent use, and Get/Put never fail: a value that cannot
 // be served is a miss, a value that cannot be stored is dropped (and

@@ -26,14 +26,39 @@ type Job struct {
 
 // Progress reports one completed job of a batch. Done counts completions so
 // far (including this one); Index is the job's position in the submitted
-// slice. Exactly one of Result/Err is meaningful.
+// slice. Exactly one of Result/Err is meaningful. Elapsed is the host
+// wall-clock time the job took (including cache lookups — a memoized job
+// reports microseconds); it is observability data and never part of the
+// simulated Result.
 type Progress struct {
 	Done, Total int
 	Index       int
 	Job         Job
 	Result      Result
 	Err         error
+	Elapsed     time.Duration
+	// Cache is the job's memoization outcome, mirroring the CacheStats
+	// counters per job: CacheHit for a result served without a new
+	// simulation (store tier or joined flight), CacheMiss for a simulation
+	// actually executed for a keyed job, CacheNone for unkeyed or
+	// cache-disabled jobs and for jobs that ended before reaching the
+	// cache. Exact per job even when batches overlap on a shared Runner —
+	// which the aggregate before/after counter deltas are not.
+	Cache CacheOutcome
 }
+
+// CacheOutcome classifies one job's interaction with the memo cache.
+type CacheOutcome uint8
+
+const (
+	// CacheNone: the job was unkeyed, caching was disabled, or the job
+	// failed before the cache was consulted.
+	CacheNone CacheOutcome = iota
+	// CacheHit: the result was served without a new simulation.
+	CacheHit
+	// CacheMiss: a simulation was executed for this keyed job.
+	CacheMiss
+)
 
 // Options configures a Runner.
 type Options struct {
@@ -238,18 +263,20 @@ func (r *Runner) release(m *sim.Machine) {
 
 // runJob executes one job, serving it from the memoization cache when the
 // workload is Keyed (and caching enabled) and simulating it on a pooled
-// machine otherwise.
-func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
+// machine otherwise. The returned CacheOutcome mirrors, per job, exactly
+// what the hits/misses counters recorded for it.
+func (r *Runner) runJob(ctx context.Context, job Job) (Result, CacheOutcome, error) {
 	if job.Workload == nil {
-		return Result{}, errors.New("run: job with nil workload")
+		return Result{}, CacheNone, errors.New("run: job with nil workload")
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{}, err
+		return Result{}, CacheNone, err
 	}
 	devID := job.Device.Identity() // computed once per job: keys both cache and pool
 	kw, keyed := job.Workload.(Keyed)
 	if !keyed || r.opt.DisableCache {
-		return r.simulate(ctx, job, devID)
+		res, err := r.simulate(ctx, job, devID)
+		return res, CacheNone, err
 	}
 	key := r.cellKey(devID, job.Device, kw.CacheKey())
 	sh := r.shard(key)
@@ -272,9 +299,9 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 				// actually served — not on joins that end in a retry or in
 				// this job's own cancellation.
 				r.hits.Add(1)
-				return f.res, f.err
+				return f.res, CacheHit, f.err
 			case <-ctx.Done():
-				return Result{}, ctx.Err()
+				return Result{}, CacheNone, ctx.Err()
 			}
 		}
 		// The store lookup happens under the shard lock, after the flight
@@ -284,7 +311,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 			if res, isResult := v.(Result); isResult {
 				sh.mu.Unlock()
 				r.hits.Add(1)
-				return res, nil
+				return res, CacheHit, nil
 			}
 			// A store serving a foreign type (misconfigured codec) is
 			// treated as a miss: correctness over reuse.
@@ -305,7 +332,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) (Result, error) {
 		// Removal precedes close so retrying waiters never re-join this
 		// flight; jobs already waiting share the outcome either way.
 		close(f.done)
-		return f.res, f.err
+		return f.res, CacheMiss, f.err
 	}
 }
 
@@ -447,7 +474,7 @@ func (r *Runner) RunAllWithProgress(ctx context.Context, jobs []Job, onProgress 
 	}
 	var progressMu sync.Mutex
 	done := 0
-	report := func(i int) {
+	report := func(i int, elapsed time.Duration, cache CacheOutcome) {
 		if onProgress == nil {
 			return
 		}
@@ -456,14 +483,22 @@ func (r *Runner) RunAllWithProgress(ctx context.Context, jobs []Job, onProgress 
 		onProgress(Progress{
 			Done: done, Total: len(jobs), Index: i,
 			Job: jobs[i], Result: results[i], Err: errs[i],
+			Elapsed: elapsed, Cache: cache,
 		})
 		progressMu.Unlock()
+	}
+	// Host wall-clock per job, for Progress.Elapsed only: observability
+	// data (the service's kernel histograms), never simulated state.
+	timeJob := func(i int) {
+		start := time.Now() //simlint:allow determinism -- host-side timing feeds Progress.Elapsed (observability), never the simulated Result
+		var cache CacheOutcome
+		results[i], cache, errs[i] = r.runJob(ctx, jobs[i])
+		report(i, time.Since(start), cache) //simlint:allow determinism -- same: host-side observability timing
 	}
 
 	if workers <= 1 {
 		for i := range jobs {
-			results[i], errs[i] = r.runJob(ctx, jobs[i])
-			report(i)
+			timeJob(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -473,8 +508,7 @@ func (r *Runner) RunAllWithProgress(ctx context.Context, jobs []Job, onProgress 
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = r.runJob(ctx, jobs[i])
-					report(i)
+					timeJob(i)
 				}
 			}()
 		}
@@ -524,5 +558,6 @@ func joinBatchErrors(errs []error) error {
 
 // RunOne executes a single workload on a single device through the pool.
 func (r *Runner) RunOne(ctx context.Context, d machine.Spec, w Workload) (Result, error) {
-	return r.runJob(ctx, Job{Device: d, Workload: w})
+	res, _, err := r.runJob(ctx, Job{Device: d, Workload: w})
+	return res, err
 }

@@ -25,7 +25,9 @@ const maxBodyBytes = 1 << 20
 //	POST   /v1/sweep       SweepRequest → Response (synchronous)
 //	POST   /v1/jobs        JobRequest → 202 JobStatus (async; poll the ID)
 //	GET    /v1/jobs        stored jobs, newest first (rows elided)
-//	GET    /v1/jobs/{id}   JobStatus: state plus rows accumulated so far
+//	GET    /v1/jobs/{id}   JobStatus: state plus rows accumulated so far;
+//	                       ?after=N elides the first N rows (incremental
+//	                       polling — pass the previous snapshot's next_after)
 //	DELETE /v1/jobs/{id}   request cancellation; returns the snapshot
 //
 // Request and response bodies are JSON. Errors are {"error": "..."}:
@@ -101,7 +103,17 @@ func NewHandler(s *Service) http.Handler {
 		s.writeJSON(w, http.StatusOK, s.Jobs())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		js, ok := s.Job(r.PathValue("id"))
+		after := 0
+		if raw := r.URL.Query().Get("after"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				s.writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("bad after cursor %q: want a non-negative row count", raw)})
+				return
+			}
+			after = n
+		}
+		js, ok := s.JobAfter(r.PathValue("id"), after)
 		if !ok {
 			s.writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
 			return
@@ -151,10 +163,22 @@ func (s *Service) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool
 	return true
 }
 
-// writeError maps service errors onto the status taxonomy. Only explicitly
+// writeError maps service errors onto the status taxonomy.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	WriteError(w, err, s.opt.Logf)
+}
+
+// writeJSON writes a JSON response through the shared encoder.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+	WriteJSON(w, status, v, s.opt.Logf)
+}
+
+// WriteError maps service errors onto the status taxonomy. Only explicitly
 // classified client mistakes earn a 4xx; anything unrecognized is a 500 —
 // an unexpected server-side failure must not be blamed on the request.
-func (s *Service) writeError(w http.ResponseWriter, err error) {
+// Exported so other transports over the same error taxonomy (the cluster
+// coordinator's handler) report identically to the standalone daemon.
+func WriteError(w http.ResponseWriter, err error, logf func(format string, args ...any)) {
 	status := http.StatusInternalServerError
 	var (
 		valErr  *ValidationError
@@ -176,19 +200,20 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	}
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	WriteJSON(w, status, map[string]string{"error": err.Error()}, logf)
 }
 
-// writeJSON writes a JSON response. Encode failures past the status line
+// WriteJSON writes a JSON response. Encode failures past the status line
 // cannot reach the client anymore, but they must not vanish: they are the
-// only trace of a torn response (marshalling bug, dead connection).
-func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+// only trace of a torn response (marshalling bug, dead connection); they
+// go to logf (nil discards).
+func WriteJSON(w http.ResponseWriter, status int, v any, logf func(format string, args ...any)) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		s.logf("service: writing %d response: %v", status, err)
+	if err := enc.Encode(v); err != nil && logf != nil {
+		logf("service: writing %d response: %v", status, err)
 	}
 }

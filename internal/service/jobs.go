@@ -57,6 +57,11 @@ type JobStatus struct {
 	// surface while the job runs. (Sweep rows here are raw results; the
 	// base-relative deltas require the full grid and arrive in Response.)
 	Rows []ResultRow `json:"rows,omitempty"`
+	// NextAfter is the rows high-water mark: the count accumulated when
+	// this snapshot was taken. Pass it as GET /v1/jobs/{id}?after=N (or
+	// JobAfter) to receive only rows that arrived since — the incremental
+	// polling surface for long requests.
+	NextAfter int `json:"next_after"`
 	// Error is set for failed (and drain-abandoned cancelled) jobs.
 	Error string `json:"error,omitempty"`
 	// Response is the complete, request-ordered response of a done job
@@ -158,6 +163,7 @@ func (st *jobStore) snapshotLocked(j *job, withRows bool) JobStatus {
 		Done: j.done, Total: j.total,
 		Error: j.errMsg, Response: j.resp, Created: j.created,
 	}
+	s.NextAfter = len(j.rows)
 	if withRows {
 		s.Rows = j.rows // append-only: shared backing array is safe to read
 	}
@@ -284,7 +290,15 @@ func (s *Service) finishJob(j *job, resp *Response, err error) {
 }
 
 // Job returns the job's current snapshot, rows included.
-func (s *Service) Job(id string) (JobStatus, bool) {
+func (s *Service) Job(id string) (JobStatus, bool) { return s.JobAfter(id, 0) }
+
+// JobAfter is Job with an incremental row cursor: the snapshot elides the
+// first `after` rows — a client that remembers the previous snapshot's
+// NextAfter polls down only the rows that arrived since, instead of
+// re-downloading a 4096-row batch on every poll. after past the current
+// high-water mark yields no rows (not an error: the client is simply
+// caught up).
+func (s *Service) JobAfter(id string, after int) (JobStatus, bool) {
 	now := time.Now()
 	s.jobs.mu.Lock()
 	defer s.jobs.mu.Unlock()
@@ -293,7 +307,15 @@ func (s *Service) Job(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return s.jobs.snapshotLocked(j, true), true
+	snap := s.jobs.snapshotLocked(j, true)
+	if after > 0 {
+		if after >= len(snap.Rows) {
+			snap.Rows = nil
+		} else {
+			snap.Rows = snap.Rows[after:]
+		}
+	}
+	return snap, true
 }
 
 // Jobs lists every stored job (rows elided), newest first.

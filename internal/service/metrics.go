@@ -3,8 +3,10 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -37,6 +39,97 @@ func (h *latencyHist) observe(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.sumNS.Add(int64(d))
+}
+
+// kernelLatencyBuckets are the per-kernel job-duration bounds. Finer at
+// the low end than the request buckets: a memoized cell completes in
+// microseconds, and the 100µs/1ms buckets are what make warm-vs-cold
+// visible per kernel.
+var kernelLatencyBuckets = [...]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+// maxKernelSeries bounds the label cardinality a scrape can accumulate;
+// kernels past the cap (runaway custom registrations) fold into "other".
+const maxKernelSeries = 64
+
+// kernelHist is a family of fixed-bucket histograms keyed by kernel label,
+// fed once per completed job via observeProgress. Same lock-free scheme as
+// latencyHist: the fast path is one sync.Map load plus two atomic adds.
+type kernelHist struct {
+	m sync.Map     // kernel label -> *kernelSeries
+	n atomic.Int64 // distinct labels stored, for the cardinality cap
+}
+
+type kernelSeries struct {
+	counts [len(kernelLatencyBuckets) + 1]atomic.Uint64 // +1 for +Inf
+	sumNS  atomic.Int64
+}
+
+func (k *kernelHist) observe(label string, d time.Duration) {
+	h := k.series(label)
+	sec := d.Seconds()
+	i := 0
+	for i < len(kernelLatencyBuckets) && sec > kernelLatencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+func (k *kernelHist) series(label string) *kernelSeries {
+	if v, ok := k.m.Load(label); ok {
+		return v.(*kernelSeries)
+	}
+	if k.n.Load() >= maxKernelSeries {
+		label = "other"
+		if v, ok := k.m.Load(label); ok {
+			return v.(*kernelSeries)
+		}
+	}
+	v, loaded := k.m.LoadOrStore(label, &kernelSeries{})
+	if !loaded {
+		k.n.Add(1) // approximate under races; the cap is a hygiene bound
+	}
+	return v.(*kernelSeries)
+}
+
+// write renders the family, labels in sorted order for stable scrapes.
+func (k *kernelHist) write(b *strings.Builder) {
+	var labels []string
+	k.m.Range(func(key, _ any) bool {
+		labels = append(labels, key.(string))
+		return true
+	})
+	if len(labels) == 0 {
+		return
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(b, "# HELP simd_kernel_duration_seconds Per-job execution time by kernel (cache hits included).\n")
+	fmt.Fprintf(b, "# TYPE simd_kernel_duration_seconds histogram\n")
+	for _, label := range labels {
+		v, _ := k.m.Load(label)
+		h := v.(*kernelSeries)
+		cum := uint64(0)
+		for i, le := range kernelLatencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "simd_kernel_duration_seconds_bucket{kernel=%q,le=%q} %d\n",
+				label, trimFloat(le), cum)
+		}
+		cum += h.counts[len(kernelLatencyBuckets)].Load()
+		fmt.Fprintf(b, "simd_kernel_duration_seconds_bucket{kernel=%q,le=\"+Inf\"} %d\n", label, cum)
+		fmt.Fprintf(b, "simd_kernel_duration_seconds_sum{kernel=%q} %g\n",
+			label, time.Duration(h.sumNS.Load()).Seconds())
+		fmt.Fprintf(b, "simd_kernel_duration_seconds_count{kernel=%q} %d\n", label, cum)
+	}
+}
+
+// kernelLabel maps a workload name onto its histogram label: the kernel
+// family before the first '/' ("stream/TRIAD" → "stream"), or the whole
+// name for unstructured custom registrations.
+func kernelLabel(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // WriteMetrics renders the service's operational metrics in Prometheus
@@ -85,6 +178,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		"Async jobs queued or running.", float64(active))
 
 	s.latency.write(&b)
+	s.kernels.write(&b)
 
 	_, err := io.WriteString(w, b.String())
 	return err

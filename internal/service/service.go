@@ -164,6 +164,7 @@ type Service struct {
 	queued    atomic.Int64 // requests waiting for a slot (≤ MaxQueue)
 	latencyNS atomic.Int64 // EWMA of observed execution latency, for Retry-After
 	latency   latencyHist  // coarse request-duration histogram, for /metrics
+	kernels   kernelHist   // per-kernel job-duration histograms, for /metrics
 	draining  atomic.Bool
 	limiter   *limiter
 	jobs      *jobStore
@@ -305,7 +306,15 @@ type WorkloadsInfo struct {
 }
 
 // Devices lists the device presets.
-func (s *Service) Devices() []DeviceInfo {
+func (s *Service) Devices() []DeviceInfo { return ListDevices() }
+
+// Workloads describes everything a request can name.
+func (s *Service) Workloads() WorkloadsInfo { return ListWorkloads() }
+
+// ListDevices lists the device presets. Package-level because the listing
+// is process-wide, not per-Service — the cluster coordinator serves it
+// without owning a Service.
+func ListDevices() []DeviceInfo {
 	all := machine.All()
 	out := make([]DeviceInfo, len(all))
 	for i, d := range all {
@@ -318,8 +327,9 @@ func (s *Service) Devices() []DeviceInfo {
 	return out
 }
 
-// Workloads describes everything a request can name.
-func (s *Service) Workloads() WorkloadsInfo {
+// ListWorkloads describes everything a request can name (see ListDevices
+// for why it is package-level).
+func ListWorkloads() WorkloadsInfo {
 	return WorkloadsInfo{
 		Kernels:    run.Kernels(),
 		Registered: run.Names(),
@@ -495,13 +505,27 @@ func (s *Service) prepareBatch(req BatchRequest) ([]run.Job, error) {
 	return run.Cross(devices, workloads), nil
 }
 
+// observeProgress wraps a request's progress hook with the per-kernel
+// latency observation, so every job completion — batch, sweep, async,
+// cluster assignment — feeds the kernel histograms exactly once.
+func (s *Service) observeProgress(onProgress func(run.Progress)) func(run.Progress) {
+	return func(p run.Progress) {
+		if p.Job.Workload != nil {
+			s.kernels.observe(kernelLabel(p.Job.Workload.Name()), p.Elapsed)
+		}
+		if onProgress != nil {
+			onProgress(p)
+		}
+	}
+}
+
 // runBatch executes a prepared job list inside an already-admitted slot and
 // assembles the Response. onProgress (optional) observes each completion —
 // the async job path streams rows through it.
 func (s *Service) runBatch(ctx context.Context, jobs []run.Job, onProgress func(run.Progress)) *Response {
 	hits0, misses0 := s.runner.CacheStats()
 	tiers0 := s.runner.TierStats()
-	results, errs := s.runner.RunAllWithProgress(ctx, jobs, onProgress)
+	results, errs := s.runner.RunAllWithProgress(ctx, jobs, s.observeProgress(onProgress))
 	resp := &Response{Results: make([]ResultRow, len(jobs))}
 	// Jobs cut off by a dead context — skipped outright or abandoned
 	// mid-run — collapse into one Errors entry with a count: a timed-out
@@ -620,7 +644,7 @@ func (s *Service) runSweep(ctx context.Context, ps *preparedSweep, onProgress fu
 	tiers0 := s.runner.TierStats()
 	res, err := sweep.Run(ctx, sweep.Config{
 		Base: ps.base, Axes: ps.axes, Workloads: ps.workloads,
-		Runner: s.runner, OnProgress: onProgress,
+		Runner: s.runner, OnProgress: s.observeProgress(onProgress),
 	})
 	if err != nil {
 		// The request validated (device, axes and workloads all resolved;
@@ -639,6 +663,37 @@ func (s *Service) runSweep(ctx context.Context, ps *preparedSweep, onProgress fu
 	}
 	resp.Cache = s.cacheDelta(hits0, misses0, tiers0)
 	return resp, nil
+}
+
+// ExecuteJobs runs an explicit, already-validated job list through the
+// service's admission and execution machinery. It is the cluster worker
+// agent's entry point: the coordinator validated the request and chose the
+// cells; the worker executes its share with full facade semantics — drain
+// refusal, slot admission, the shared runner's pooling/memoization/
+// singleflight, per-request cache deltas. onProgress observes each
+// completion (serially, in completion order). No request timeout is
+// applied here: the caller owns the deadline via ctx — in the cluster, the
+// coordinator holds the client's deadline and revokes the assignment.
+//
+// Request-shaped failures (draining, overload, empty or oversized job
+// list) fail the call; per-job failures land in the Response rows, exactly
+// as in Batch.
+func (s *Service) ExecuteJobs(ctx context.Context, jobs []run.Job, onProgress func(run.Progress)) (*Response, error) {
+	if err := s.checkAdmittable(ctx); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, invalidf("service: empty job list")
+	}
+	if len(jobs) > s.opt.MaxJobs {
+		return nil, invalidf("service: request is %d jobs, limit %d", len(jobs), s.opt.MaxJobs)
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return s.runBatch(ctx, jobs, onProgress), nil
 }
 
 // cacheDelta snapshots the shared cache counters against a request-entry

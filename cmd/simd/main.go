@@ -13,6 +13,7 @@
 //	     [-jobttl 5m] [-clientrate 0] [-clientburst 0]
 //	     [-cache-dir DIR] [-cache-mem 65536]
 //	     [-coordinator URL] [-worker-id ID] [-heartbeat 1s] [-lease 0]
+//	     [-max-cell-attempts 3]
 //
 // The default mode, standalone, is the single-process daemon described
 // below. The other two modes form a distributed control plane
@@ -24,7 +25,12 @@
 //     coordinates (device identity + workload cache key), reassembling
 //     rows in job order. Workers register and poll over /cluster/v1/*;
 //     a worker silent past its -lease is marked lost and its unfinished
-//     cells are requeued onto the survivors. Responses are bit-identical
+//     cells are requeued onto the survivors. Each cell carries a failure
+//     budget (-max-cell-attempts, default 3): a cell that keeps taking its
+//     worker down with it is quarantined — completed as an explicit error
+//     row while sibling cells finish normally — and a request whose
+//     deadline expires returns the rows it has with per-cell deadline
+//     errors instead of hanging. Responses are otherwise bit-identical
 //     to a standalone daemon serving the same request.
 //   - worker: wraps the ordinary Service (all flags above apply,
 //     -cache-dir included) and executes cells assigned by the
@@ -110,10 +116,11 @@ type flags struct {
 	clientBurst int
 	cacheDir    string
 	cacheMem    int
-	coordinator string
-	workerID    string
-	heartbeat   time.Duration
-	lease       time.Duration
+	coordinator     string
+	workerID        string
+	heartbeat       time.Duration
+	lease           time.Duration
+	maxCellAttempts int
 }
 
 func main() {
@@ -136,6 +143,7 @@ func main() {
 	flag.StringVar(&f.workerID, "worker-id", "", "stable worker identity on the hash ring (worker mode); default hostname+addr")
 	flag.DurationVar(&f.heartbeat, "heartbeat", time.Second, "heartbeat interval advertised to workers (coordinator mode)")
 	flag.DurationVar(&f.lease, "lease", 0, "worker liveness lease (coordinator mode); 0 = 3×heartbeat")
+	flag.IntVar(&f.maxCellAttempts, "max-cell-attempts", 0, "per-cell failure budget before quarantine (coordinator mode); 0 = default (3)")
 	flag.Parse()
 
 	switch f.mode {
@@ -263,6 +271,7 @@ func runCoordinator(f flags) {
 		HeartbeatInterval: f.heartbeat,
 		Lease:             f.lease,
 		MaxJobs:           f.maxJobs,
+		MaxCellAttempts:   f.maxCellAttempts,
 		DefaultTimeout:    f.timeout,
 		MaxTimeout:        f.maxTimeout,
 		Logf:              log.Printf,
@@ -315,7 +324,19 @@ func runWorker(f flags) {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}
-	srv := newServer(f.addr, service.NewHandler(svc))
+	// The worker's /metrics page carries the service metrics plus the
+	// agent's control-plane counters (registrations, abandoned returns,
+	// contained cell failures), appended in the same text format.
+	base := service.NewHandler(svc)
+	handler := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		base.ServeHTTP(rw, r)
+		if r.Method == http.MethodGet && r.URL.Path == "/metrics" {
+			if err := worker.WriteMetrics(rw); err != nil {
+				log.Printf("simd: writing worker metrics: %v", err)
+			}
+		}
+	})
+	srv := newServer(f.addr, handler)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,16 +5,29 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
 
 	"riscvmem/internal/cluster/protocol"
 	"riscvmem/internal/faultinject"
+	"riscvmem/internal/faultinject/chaos"
 	"riscvmem/internal/leakcheck"
 	"riscvmem/internal/run"
 	"riscvmem/internal/service"
 )
+
+// The poison workload: a stall that never releases, registered once for
+// the whole test binary (the workload registry is process-wide). Each
+// execution signals poisonStarted; honorCtx makes it unwind cleanly when
+// its worker is killed, so the kill is observed as a worker loss — the
+// budget's charge — not as a stuck goroutine.
+var poisonStarted = make(chan struct{}, 16)
+
+func init() {
+	run.MustRegister(chaos.Stall("chaospoison", poisonStarted, make(chan struct{}), true))
+}
 
 // chaosSweep is the grid the chaos tests replay: small enough to converge
 // fast under injected faults, varied enough that cells spread across both
@@ -290,6 +303,260 @@ func TestChaosDispatchFaultDelaysAssignment(t *testing.T) {
 	}
 	if fired := faultinject.Fired(faultinject.ClusterDispatch); fired < 4 {
 		t.Errorf("dispatch seam fired %d times, want ≥4 (3 injected failures + the delivering poll)", fired)
+	}
+
+	w.stop()
+	coord.Close()
+	assertNoLeaks()
+}
+
+// TestChaosPoisonCellQuarantine is the degraded-mode acceptance drill: one
+// cell in a batch kills its worker on every attempt. The cluster must not
+// retry it forever — after MaxCellAttempts worker losses the cell is
+// quarantined, the batch completes within the request deadline with exactly
+// one quarantined error row, and every innocent row is bit-identical to the
+// standalone run.
+func TestChaosPoisonCellQuarantine(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	assertNoLeaks := leakcheck.Check(t)
+
+	// Drain stale start signals from any earlier run of this binary.
+	for {
+		select {
+		case <-poisonStarted:
+			continue
+		default:
+		}
+		break
+	}
+
+	ctx := context.Background()
+	innocents := []run.WorkloadSpec{
+		run.MustParseWorkloadSpec("stream:test=COPY,elems=2048,reps=1"),
+		run.MustParseWorkloadSpec("stream:test=TRIAD,elems=2048,reps=1"),
+		run.MustParseWorkloadSpec("transpose:variant=Naive,n=96"),
+	}
+	want, err := service.New(service.Options{}).Batch(ctx, service.BatchRequest{
+		Devices: []string{"MangoPi"}, Workloads: innocents,
+	})
+	if err != nil {
+		t.Fatalf("standalone Batch: %v", err)
+	}
+	req := service.BatchRequest{
+		Devices:   []string{"MangoPi"},
+		Workloads: append(append([]run.WorkloadSpec{}, innocents...), run.WorkloadSpec{Kernel: "chaospoison"}),
+		Options:   service.RequestOptions{TimeoutMS: 60000},
+	}
+	poisonIdx := len(innocents) // one device: row index == workload index
+	totalJobs := len(req.Workloads)
+
+	coord := New(Options{MaxCellAttempts: 3, AssignmentCells: 1, Logf: t.Logf})
+	tweak := func(o *WorkerOptions) { o.FlushRows = 1 }
+	workers := map[string]*testWorker{
+		"w1": startWorker(t, coord, "w1", tweak),
+		"w2": startWorker(t, coord, "w2", tweak),
+	}
+	waitForWorkers(t, coord, 2)
+
+	respCh := make(chan *service.Response, 1)
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		resp, err := coord.Batch(ctx, req)
+		respCh <- resp
+		errCh <- err
+	}()
+
+	// findOwner locates the worker currently executing the poison cell.
+	findOwner := func(attempt int) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			coord.mu.Lock()
+			for id, ws := range coord.workers {
+				for _, asn := range ws.delivered {
+					if _, ok := asn.cells[poisonIdx]; ok {
+						coord.mu.Unlock()
+						return id
+					}
+				}
+			}
+			coord.mu.Unlock()
+			if time.Now().After(deadline) {
+				t.Fatalf("attempt %d: poison cell never found in a delivered assignment", attempt)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	next := 3
+	for kill := 1; kill <= 3; kill++ {
+		select {
+		case <-poisonStarted:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("attempt %d: poison cell never started executing", kill)
+		}
+		owner := findOwner(kill)
+		if kill < 3 {
+			// Keep the ring populated: a replacement joins before each of
+			// the first two kills, so the poison always has somewhere to go.
+			id := fmt.Sprintf("w%d", next)
+			next++
+			workers[id] = startWorker(t, coord, id, tweak)
+		}
+		t.Logf("attempt %d: poison running on %s, killing it", kill, owner)
+		workers[owner].stop()
+		delete(workers, owner)
+	}
+
+	resp, err := <-respCh, <-errCh
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cluster batch with poison cell: %v", err)
+	}
+	if elapsed >= 60*time.Second {
+		t.Errorf("batch took %s, want completion within the 60s request deadline", elapsed)
+	}
+	if len(resp.Results) != totalJobs {
+		t.Fatalf("cluster batch: %d rows, want %d", len(resp.Results), totalJobs)
+	}
+	for i := range innocents {
+		if resp.Results[i].Result != want.Results[i].Result || resp.Results[i].Error != want.Results[i].Error {
+			t.Errorf("innocent row %d: cluster %+v != standalone %+v", i, resp.Results[i], want.Results[i])
+		}
+	}
+	poison := resp.Results[poisonIdx]
+	if poison.Error != service.QuarantinedRowError(3) {
+		t.Errorf("poison row error %q, want %q", poison.Error, service.QuarantinedRowError(3))
+	}
+	if poison.Result != (run.Result{}) {
+		t.Errorf("poison row carries a result %+v alongside its quarantine error", poison.Result)
+	}
+	if kind := service.ClassifyRowError(poison.Error); kind != service.RowErrorQuarantined {
+		t.Errorf("poison row classifies as %q, want %q", kind, service.RowErrorQuarantined)
+	}
+
+	coord.mu.Lock()
+	accepted, quarantined, expired := coord.rowsAccepted, coord.cellsQuarantined, coord.dispatchesExpired
+	coord.mu.Unlock()
+	if accepted != uint64(totalJobs) {
+		t.Errorf("rowsAccepted = %d, want exactly %d (quarantine row included, nothing double-counted)", accepted, totalJobs)
+	}
+	if quarantined != 1 {
+		t.Errorf("cellsQuarantined = %d, want exactly 1", quarantined)
+	}
+	if expired != 0 {
+		t.Errorf("dispatchesExpired = %d, want 0 (quarantine must beat the deadline)", expired)
+	}
+
+	for _, w := range workers {
+		w.stop()
+	}
+	coord.Close()
+	assertNoLeaks()
+}
+
+// TestChaosBlackholedPollsDeadlineBounded blackholes every poll at the
+// flaky transport: the worker is registered and heartbeating but can never
+// fetch work. A batch with a request deadline must come back on time as a
+// degraded 200-style response — every row an explicit deadline error —
+// rather than blocking until the caller gives up.
+func TestChaosBlackholedPollsDeadlineBounded(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	assertNoLeaks := leakcheck.Check(t)
+
+	faultinject.Set(faultinject.ClusterSend, faultinject.AlwaysFail(errors.New("injected: poll blackhole")))
+
+	coord := New(Options{Logf: t.Logf})
+	flaky := NewFlakyTransport(coord, FlakyOptions{Verbs: []string{VerbPoll}})
+	w := startWorker(t, flaky, "w1", func(o *WorkerOptions) { o.PollWait = 20 * time.Millisecond })
+	waitForWorkers(t, coord, 1)
+
+	req := service.BatchRequest{
+		Devices: []string{"MangoPi"},
+		Workloads: []run.WorkloadSpec{
+			run.MustParseWorkloadSpec("stream:test=COPY,elems=2048,reps=1"),
+			run.MustParseWorkloadSpec("transpose:variant=Naive,n=96"),
+		},
+		Options: service.RequestOptions{TimeoutMS: 400},
+	}
+	start := time.Now()
+	resp, err := coord.Batch(context.Background(), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cluster batch under poll blackhole: %v (deadline must degrade, not error)", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("degraded response took %s, want deadline-bounded (~400ms)", elapsed)
+	}
+	if len(resp.Results) != len(req.Workloads) {
+		t.Fatalf("degraded batch: %d rows, want %d", len(resp.Results), len(req.Workloads))
+	}
+	for i, row := range resp.Results {
+		if kind := service.ClassifyRowError(row.Error); kind != service.RowErrorDeadline {
+			t.Errorf("row %d error %q classifies as %q, want %q", i, row.Error, kind, service.RowErrorDeadline)
+		}
+	}
+	if sent, _ := flaky.Drops(); sent == 0 {
+		t.Error("no poll was ever dropped: the blackhole was not exercised")
+	}
+	coord.mu.Lock()
+	expired := coord.dispatchesExpired
+	coord.mu.Unlock()
+	if expired != 1 {
+		t.Errorf("dispatchesExpired = %d, want 1", expired)
+	}
+
+	w.stop()
+	coord.Close()
+	assertNoLeaks()
+}
+
+// TestChaosRowsDropRetries drops the first two ReturnRows requests at the
+// flaky transport. The worker's flush retry loop must redeliver: the third
+// attempt lands, the batch matches standalone, and nothing is abandoned.
+func TestChaosRowsDropRetries(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	assertNoLeaks := leakcheck.Check(t)
+
+	faultinject.Set(faultinject.ClusterSend, faultinject.FailTimes(2, errors.New("injected: rows dropped")))
+
+	ctx := context.Background()
+	req := service.BatchRequest{
+		Devices:   []string{"MangoPi"},
+		Workloads: []run.WorkloadSpec{run.MustParseWorkloadSpec("stream:test=COPY,elems=2048,reps=1")},
+	}
+	want, err := service.New(service.Options{}).Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("standalone Batch: %v", err)
+	}
+
+	coord := New(Options{Logf: t.Logf})
+	flaky := NewFlakyTransport(coord, FlakyOptions{Verbs: []string{VerbRows}})
+	w := startWorker(t, flaky, "w1", nil)
+	waitForWorkers(t, coord, 1)
+
+	resp, err := coord.Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("cluster batch under dropped returns: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Result != want.Results[0].Result || resp.Results[0].Error != "" {
+		t.Fatalf("cluster batch: %+v, want standalone %+v", resp.Results, want.Results)
+	}
+	if fired := faultinject.Fired(faultinject.ClusterSend); fired != 3 {
+		t.Errorf("send seam fired %d times, want 3 (2 drops + the delivering retry)", fired)
+	}
+	if sent, _ := flaky.Drops(); sent != 2 {
+		t.Errorf("flaky transport dropped %d sends, want 2", sent)
+	}
+	coord.mu.Lock()
+	accepted := coord.rowsAccepted
+	coord.mu.Unlock()
+	if accepted != 1 {
+		t.Errorf("rowsAccepted = %d, want exactly 1 despite retries", accepted)
 	}
 
 	w.stop()

@@ -71,6 +71,14 @@ type Options struct {
 	// AssignmentCells caps the cells handed out per poll, so one slow
 	// worker cannot hoard a whole sweep. 0 → 256.
 	AssignmentCells int
+	// MaxCellAttempts is the per-cell failure budget: how many failed
+	// attempts (worker losses while the cell was in flight, contained cell
+	// failures reported by workers) one cell may accumulate before it is
+	// quarantined — completed as an error row while its sibling cells
+	// finish normally. Without the budget one poison cell that crashes its
+	// executor would serially kill every worker in the fleet and livelock
+	// the dispatch. 0 → 3.
+	MaxCellAttempts int
 	// DefaultTimeout / MaxTimeout mirror the service facade's request
 	// timeout knobs (see service.Options); they bound how long a dispatch
 	// waits for its rows.
@@ -95,12 +103,15 @@ type Coordinator struct {
 	seq        uint64      // dispatch/assignment ID counter
 
 	// Counters for /metrics, guarded by mu.
-	workersLost    uint64
-	workersDrained uint64
-	cellsRequeued  uint64
-	rowsAccepted   uint64
-	rowsRevoked    uint64
-	dispatchCount  uint64
+	workersLost       uint64
+	workersDrained    uint64
+	cellsRequeued     uint64
+	cellsQuarantined  uint64
+	cellFailures      uint64
+	rowsAccepted      uint64
+	rowsRevoked       uint64
+	dispatchCount     uint64
+	dispatchesExpired uint64
 
 	closed      chan struct{}
 	closeOnce   sync.Once
@@ -130,6 +141,10 @@ type dispatch struct {
 	id    string
 	kind  string // "batch" or "sweep"
 	sweep *protocol.SweepGrid
+	// deadline is the request's absolute deadline (zero = none), stamped
+	// onto every assignment so workers stop at the same instant the
+	// response settles.
+	deadline time.Time
 
 	rows      []protocol.Row
 	done      []bool
@@ -148,12 +163,14 @@ type dispatch struct {
 	cacheTiers             memostore.Stats
 }
 
-// cellTask is one routable unit of work: the wire cell, its dispatch, and
-// the shard key that pins it to a ring position.
+// cellTask is one routable unit of work: the wire cell, its dispatch, the
+// shard key that pins it to a ring position, and the failed attempts it has
+// accumulated against the quarantine budget.
 type cellTask struct {
-	d    *dispatch
-	cell protocol.Cell
-	key  string
+	d        *dispatch
+	cell     protocol.Cell
+	key      string
+	attempts int
 }
 
 // New builds a Coordinator and starts its liveness janitor.
@@ -169,6 +186,9 @@ func New(opt Options) *Coordinator {
 	}
 	if opt.AssignmentCells <= 0 {
 		opt.AssignmentCells = 256
+	}
+	if opt.MaxCellAttempts <= 0 {
+		opt.MaxCellAttempts = 3
 	}
 	c := &Coordinator{
 		opt:         opt,
@@ -282,29 +302,78 @@ func (c *Coordinator) reassignLocked() {
 	c.scheduleLocked(tasks)
 }
 
+// quarantineLocked completes a cell as a quarantine error row: its failure
+// budget is spent, so retrying harder would only crash more workers. The
+// sibling cells of its dispatch are untouched — the response degrades
+// per-cell instead of hanging. cause (optional) is the last contained cell
+// failure, appended to the row error so the client sees why. Caller holds
+// mu and must maybeCompleteLocked the dispatch afterwards.
+func (c *Coordinator) quarantineLocked(t *cellTask, cause string) {
+	d := t.d
+	if d.failed || d.done[t.cell.Index] {
+		return
+	}
+	msg := service.QuarantinedRowError(t.attempts)
+	if cause != "" {
+		msg += ": " + cause
+	}
+	d.rows[t.cell.Index] = protocol.Row{Index: t.cell.Index, Error: msg}
+	d.done[t.cell.Index] = true
+	d.remaining--
+	c.rowsAccepted++
+	c.cellsQuarantined++
+	c.logf("cluster: cell %d of dispatch %s quarantined after %d failed attempt(s)",
+		t.cell.Index, d.id, t.attempts)
+}
+
 // dropWorkerLocked removes a worker (lost or draining), revokes its
 // delivered assignments and requeues every cell it had not completed onto
-// the surviving ring. Returns the requeued cell count. Caller holds mu.
+// the surviving ring. Cells that were actually in flight (delivered, not
+// just queued) are charged one failed attempt; a cell whose budget is
+// spent is quarantined instead of requeued — this is what stops a poison
+// cell from serially killing the whole fleet. Returns the requeued cell
+// count. Caller holds mu.
 func (c *Coordinator) dropWorkerLocked(ws *workerState, reason string) int {
 	delete(c.workers, ws.id)
 	c.rebuildRingLocked()
+	// Queued-but-undelivered cells requeue free of charge: the worker
+	// never started them, so its loss says nothing about them.
 	var tasks []*cellTask
 	for _, t := range ws.queue {
 		if !t.d.failed {
 			tasks = append(tasks, t)
 		}
 	}
+	var inflight []*cellTask
+	touched := map[*dispatch]struct{}{}
 	for _, asn := range ws.delivered {
 		for _, t := range asn.cells {
 			if !t.d.failed {
-				tasks = append(tasks, t)
+				inflight = append(inflight, t)
 			}
 		}
 		asn.d.outstanding--
-		c.maybeCompleteLocked(asn.d)
+		touched[asn.d] = struct{}{}
 	}
 	ws.queue, ws.delivered = nil, nil // revoked: late returns find nothing
-	// Map iteration above is unordered; requeue deterministically.
+	// Map iteration above is unordered; charge and requeue deterministically.
+	sort.Slice(inflight, func(a, b int) bool {
+		if inflight[a].d.id != inflight[b].d.id {
+			return inflight[a].d.id < inflight[b].d.id
+		}
+		return inflight[a].cell.Index < inflight[b].cell.Index
+	})
+	quarantined := 0
+	for _, t := range inflight {
+		t.attempts++
+		if t.attempts >= c.opt.MaxCellAttempts {
+			c.quarantineLocked(t, "")
+			touched[t.d] = struct{}{}
+			quarantined++
+			continue
+		}
+		tasks = append(tasks, t)
+	}
 	sort.Slice(tasks, func(a, b int) bool {
 		if tasks[a].d.id != tasks[b].d.id {
 			return tasks[a].d.id < tasks[b].d.id
@@ -321,12 +390,22 @@ func (c *Coordinator) dropWorkerLocked(ws *workerState, reason string) int {
 			c.scheduleLocked(tasks)
 		}
 	}
+	// A quarantined cell may have been a dispatch's last open row; an
+	// assignment-less dispatch may have been waiting on outstanding alone.
+	for d := range touched {
+		c.maybeCompleteLocked(d)
+	}
 	// Pool-bound cells (requeue fault, or empty ring) are picked up by
 	// polls; wake every survivor so none sleeps through the handoff.
 	for _, other := range c.workers {
 		other.wakeUp()
 	}
-	c.logf("cluster: worker %s %s: %d cell(s) requeued", ws.id, reason, len(tasks))
+	if quarantined > 0 {
+		c.logf("cluster: worker %s %s: %d cell(s) requeued, %d quarantined",
+			ws.id, reason, len(tasks), quarantined)
+	} else {
+		c.logf("cluster: worker %s %s: %d cell(s) requeued", ws.id, reason, len(tasks))
+	}
 	return len(tasks)
 }
 
@@ -484,9 +563,14 @@ func (c *Coordinator) takeAssignmentLocked(ws *workerState) *protocol.Assignment
 		cells: make(map[int]*cellTask, len(taken)),
 	}
 	out := &protocol.Assignment{ID: asn.id, Kind: d.kind, Sweep: d.sweep}
+	if !d.deadline.IsZero() {
+		out.DeadlineMS = d.deadline.UnixMilli()
+	}
 	for _, t := range taken {
 		asn.cells[t.cell.Index] = t
-		out.Cells = append(out.Cells, t.cell)
+		cell := t.cell
+		cell.Attempts = t.attempts
+		out.Cells = append(out.Cells, cell)
 	}
 	ws.delivered[asn.id] = asn
 	return out
@@ -512,6 +596,7 @@ func (c *Coordinator) ReturnRows(ctx context.Context, req protocol.RowReturn) (p
 		return protocol.RowAck{Revoked: true}, nil
 	}
 	accepted := 0
+	quarantined := false
 	for _, row := range req.Rows {
 		t, ok := asn.cells[row.Index]
 		if !ok {
@@ -522,12 +607,35 @@ func (c *Coordinator) ReturnRows(ctx context.Context, req protocol.RowReturn) (p
 		if d.failed || d.done[row.Index] {
 			continue
 		}
+		if row.Failed {
+			// Contained cell failure (the worker's execution wrapper caught a
+			// panic and attributed it to the cell): charge the budget and
+			// retry elsewhere, or quarantine when the budget is spent. Never
+			// delivered to the client as-is.
+			c.cellFailures++
+			t.attempts++
+			c.logf("cluster: cell %d of dispatch %s failed on %s (attempt %d): %s",
+				row.Index, d.id, req.WorkerID, t.attempts, row.Error)
+			if t.attempts >= c.opt.MaxCellAttempts {
+				c.quarantineLocked(t, row.Error)
+				quarantined = true
+			} else {
+				c.cellsRequeued++
+				c.scheduleLocked([]*cellTask{t})
+			}
+			continue
+		}
 		d.rows[row.Index] = row
 		d.done[row.Index] = true
 		d.remaining--
 		accepted++
 	}
 	c.rowsAccepted += uint64(accepted)
+	if quarantined && !req.Done {
+		// A quarantined cell may have been the dispatch's last open row and
+		// this call carries no Done close-out to check for us.
+		c.maybeCompleteLocked(asn.d)
+	}
 	if req.Done {
 		if req.Cache != nil && !asn.d.failed {
 			asn.d.cacheHits += req.Cache.Hits
@@ -539,14 +647,25 @@ func (c *Coordinator) ReturnRows(ctx context.Context, req protocol.RowReturn) (p
 		if len(asn.cells) > 0 {
 			// The worker declared the assignment finished without returning
 			// every row (a worker-local failure it could not attribute to
-			// cells); the leftovers go back on the ring.
-			var tasks []*cellTask
+			// cells, or the dispatch deadline cut it off); each leftover is
+			// charged one failed attempt — the cell was in flight and
+			// produced nothing — then requeued or quarantined.
+			var leftovers []*cellTask
 			for _, t := range asn.cells {
 				if !t.d.failed {
-					tasks = append(tasks, t)
+					leftovers = append(leftovers, t)
 				}
 			}
-			sort.Slice(tasks, func(a, b int) bool { return tasks[a].cell.Index < tasks[b].cell.Index })
+			sort.Slice(leftovers, func(a, b int) bool { return leftovers[a].cell.Index < leftovers[b].cell.Index })
+			var tasks []*cellTask
+			for _, t := range leftovers {
+				t.attempts++
+				if t.attempts >= c.opt.MaxCellAttempts {
+					c.quarantineLocked(t, "")
+					continue
+				}
+				tasks = append(tasks, t)
+			}
 			c.cellsRequeued += uint64(len(tasks))
 			c.scheduleLocked(tasks)
 			c.logf("cluster: assignment %s finished incomplete on %s: %d cell(s) requeued",
@@ -649,6 +768,13 @@ func (c *Coordinator) newDispatchLocked(kind string, grid *protocol.SweepGrid, n
 // ends, or the coordinator closes. On any outcome the dispatch is
 // unregistered; on failure it is marked so stray cells and late rows are
 // dropped.
+//
+// A deadline expiry is not a failure: the dispatch degrades — every row
+// that arrived in time is kept, every open slot is filled with a deadline
+// error row, and the caller gets the partial response instead of blocking
+// forever on cells that will never land (e.g. every poll blackholed). The
+// dispatch is still marked failed internally so stray queued cells are
+// scrubbed and late rows revoked.
 func (c *Coordinator) await(ctx context.Context, d *dispatch) error {
 	var err error
 	select {
@@ -659,11 +785,27 @@ func (c *Coordinator) await(ctx context.Context, d *dispatch) error {
 		err = errors.New("cluster: coordinator closed")
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.dispatches, d.id)
-	if err != nil {
-		d.failed = true
+	if err == nil || d.completed {
+		return nil
 	}
-	c.mu.Unlock()
+	if errors.Is(err, context.DeadlineExceeded) {
+		c.dispatchesExpired++
+		expired := 0
+		for i, ok := range d.done {
+			if !ok {
+				d.rows[i] = protocol.Row{Index: i, Error: service.DeadlineRowError()}
+				d.done[i] = true
+				d.remaining--
+				expired++
+			}
+		}
+		d.failed = true // scrub stray cells, revoke late rows
+		c.logf("cluster: dispatch %s deadline expired: %d row(s) returned degraded", d.id, expired)
+		return nil
+	}
+	d.failed = true
 	return err
 }
 
@@ -704,6 +846,9 @@ func (c *Coordinator) Batch(ctx context.Context, req service.BatchRequest) (*ser
 
 	c.mu.Lock()
 	d := c.newDispatchLocked("batch", nil, len(devices)*len(workloads))
+	if dl, ok := ctx.Deadline(); ok {
+		d.deadline = dl
+	}
 	tasks := make([]*cellTask, 0, d.remaining)
 	for di, dev := range devices {
 		for wi, w := range workloads {
@@ -751,6 +896,9 @@ func (c *Coordinator) Sweep(ctx context.Context, req service.SweepRequest) (*ser
 	grid := &protocol.SweepGrid{Device: req.Device, Axes: req.Axes, Workloads: req.Workloads}
 	c.mu.Lock()
 	d := c.newDispatchLocked("sweep", grid, len(plan.jobs))
+	if dl, ok := ctx.Deadline(); ok {
+		d.deadline = dl
+	}
 	tasks := make([]*cellTask, len(plan.jobs))
 	for j, job := range plan.jobs {
 		tasks[j] = &cellTask{

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"riscvmem/internal/leakcheck"
+	"riscvmem/internal/run"
+	"riscvmem/internal/service"
+)
+
+// TestFlakyTransportDuplicateRowsExactlyOnce runs a batch with every
+// RowReturn delivered twice — the retransmit-after-lost-ack pattern — and
+// requires the response bit-identical to standalone with every row accepted
+// exactly once: the duplicate's rows must bounce off the coordinator's
+// per-index dedup (mid-assignment) or revocation (after Done), never count
+// twice. Duplicate delivery needs no faultinject seam, so this is an
+// untagged test: the invariant holds in production builds too.
+func TestFlakyTransportDuplicateRowsExactlyOnce(t *testing.T) {
+	assertNoLeaks := leakcheck.Check(t)
+	ctx := context.Background()
+	req := service.BatchRequest{
+		Devices: []string{"MangoPi"},
+		Workloads: []run.WorkloadSpec{
+			run.MustParseWorkloadSpec("stream:test=COPY,elems=2048,reps=1"),
+			run.MustParseWorkloadSpec("stream:test=TRIAD,elems=2048,reps=1"),
+			run.MustParseWorkloadSpec("transpose:variant=Naive,n=96"),
+		},
+	}
+	want, err := service.New(service.Options{}).Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("standalone Batch: %v", err)
+	}
+
+	coord := New(Options{Logf: t.Logf})
+	flaky := NewFlakyTransport(coord, FlakyOptions{
+		Verbs:     []string{VerbRows},
+		Duplicate: func(verb string) bool { return true },
+	})
+	// Row-by-row flushes so duplication hits both mid-assignment returns
+	// and the final Done return.
+	w := startWorker(t, flaky, "w1", func(o *WorkerOptions) { o.FlushRows = 1 })
+	waitForWorkers(t, coord, 1)
+
+	resp, err := coord.Batch(ctx, req)
+	if err != nil {
+		t.Fatalf("cluster batch under duplicated returns: %v", err)
+	}
+	if len(resp.Results) != len(want.Results) {
+		t.Fatalf("cluster batch: %d rows, standalone %d", len(resp.Results), len(want.Results))
+	}
+	for i := range resp.Results {
+		if resp.Results[i].Result != want.Results[i].Result || resp.Results[i].Error != want.Results[i].Error {
+			t.Errorf("row %d: cluster %+v != standalone %+v", i, resp.Results[i], want.Results[i])
+		}
+	}
+
+	if flaky.Duplicates() == 0 {
+		t.Error("no call was ever duplicated: the retransmit path was not exercised")
+	}
+	coord.mu.Lock()
+	accepted := coord.rowsAccepted
+	coord.mu.Unlock()
+	if accepted != uint64(len(want.Results)) {
+		t.Errorf("rowsAccepted = %d, want exactly %d (one per job despite duplication)", accepted, len(want.Results))
+	}
+
+	w.stop()
+	coord.Close()
+	assertNoLeaks()
+}

@@ -32,7 +32,12 @@ const maxBodyBytes = 1 << 20
 //	POST /cluster/v1/drain       protocol.DrainRequest → DrainResponse
 //
 // Errors follow the service taxonomy exactly (service.WriteError): 400 for
-// validation failures, 504 for expired request deadlines, 500 otherwise.
+// validation failures, 500 otherwise. A batch whose request deadline
+// expires is not an error here: it degrades to a 200 whose unfinished rows
+// carry per-cell deadline errors (service.DeadlineRowError); a sweep in
+// the same state returns the standalone sweep's wholesale 500 (a torn grid
+// has no meaningful deltas). Only the caller's own cancelled context still
+// surfaces as an error.
 func NewCoordinatorHandler(c *Coordinator, logf func(format string, args ...any)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -24,7 +24,8 @@ func (c *Coordinator) WriteMetrics(w io.Writer) error {
 	active := len(c.dispatches)
 	lost, drained := c.workersLost, c.workersDrained
 	requeued, accepted, revoked := c.cellsRequeued, c.rowsAccepted, c.rowsRevoked
-	dispatches := c.dispatchCount
+	quarantined, failures := c.cellsQuarantined, c.cellFailures
+	dispatches, expired := c.dispatchCount, c.dispatchesExpired
 	c.mu.Unlock()
 
 	var b strings.Builder
@@ -44,10 +45,16 @@ func (c *Coordinator) WriteMetrics(w io.Writer) error {
 		"Workers that announced drain and departed cleanly.", drained)
 	ccounter(&b, "simd_cluster_cells_requeued_total",
 		"Cells requeued from lost, draining, or refusing workers.", requeued)
+	ccounter(&b, "simd_cluster_cells_quarantined_total",
+		"Cells completed as quarantine error rows after exhausting the failure budget.", quarantined)
+	ccounter(&b, "simd_cluster_cell_failures_total",
+		"Contained cell failures reported by workers (panics attributed to cells).", failures)
 	ccounter(&b, "simd_cluster_rows_accepted_total",
-		"Rows accepted into dispatches.", accepted)
+		"Rows accepted into dispatches (including quarantine error rows).", accepted)
 	ccounter(&b, "simd_cluster_rows_revoked_total",
 		"Rows rejected because their assignment was revoked.", revoked)
+	ccounter(&b, "simd_cluster_dispatches_deadline_expired_total",
+		"Dispatches that returned degraded after their request deadline expired.", expired)
 
 	_, err := io.WriteString(w, b.String())
 	return err

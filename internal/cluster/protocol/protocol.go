@@ -88,6 +88,12 @@ type Assignment struct {
 	// assignments.
 	Sweep *SweepGrid `json:"sweep,omitempty"`
 	Cells []Cell     `json:"cells"`
+	// DeadlineMS is the dispatch's absolute deadline (Unix milliseconds,
+	// 0 = none), propagated from the client request so a worker never
+	// burns cycles on cells whose response has already been settled: the
+	// worker bounds its execution context at this instant and ships
+	// nothing for cells it could not finish in time.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SweepGrid names a sweep's deterministic expansion: the worker re-expands
@@ -115,15 +121,31 @@ type Cell struct {
 	// workloads innermost, synthetic base cell last when the axes omit
 	// base points); meaningful only for sweep assignments.
 	SweepJob int `json:"sweep_job,omitempty"`
+	// Attempts is how many failed attempts (worker losses, contained cell
+	// failures) this cell has already survived. Informational for the
+	// worker (logging a retry as a retry); the coordinator owns the count
+	// and quarantines the cell when it exhausts the failure budget.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Row is one completed cell: the deterministic simulator's Result — which
 // JSON round-trips bit-identically (finite float64s re-decode exactly) —
 // or the cell's error.
+//
+// Failed distinguishes a *cell failure* from a workload error. A workload
+// error (Error set, Failed false) is a final answer: the cell executed and
+// its workload failed — the row is delivered to the client as-is. A failure
+// row (Failed true) means the worker could not execute the cell at all —
+// a panic contained in the worker's execution path, attributed to the cell
+// rather than crashing the worker and looking like a worker loss. The
+// coordinator charges a failure row against the cell's attempt budget and
+// requeues it (or quarantines it when the budget is spent); it is never
+// delivered to the client directly.
 type Row struct {
 	Index  int        `json:"index"`
 	Result run.Result `json:"result"`
 	Error  string     `json:"error,omitempty"`
+	Failed bool       `json:"failed,omitempty"`
 }
 
 // RowReturn streams completed rows back to the coordinator. A worker may

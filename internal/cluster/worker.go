@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +54,30 @@ type WorkerOptions struct {
 type Worker struct {
 	opt  WorkerOptions
 	hbMS atomic.Int64 // advertised heartbeat interval, ms
+
+	// Agent-side counters for /metrics (the worker's service metrics cover
+	// execution; these cover the control-plane conversation).
+	registrations    atomic.Uint64 // successful registrations (first join + rejoins)
+	returnsAbandoned atomic.Uint64 // RowReturn calls given up after transport retries
+	rowsAbandoned    atomic.Uint64 // rows those abandoned calls carried
+	cellFailures     atomic.Uint64 // panics contained and attributed to cells
+}
+
+// WriteMetrics renders the worker agent's control-plane counters in
+// Prometheus text exposition format; the worker's HTTP server appends this
+// to its service /metrics page.
+func (w *Worker) WriteMetrics(out io.Writer) error {
+	var b strings.Builder
+	ccounter(&b, "simd_cluster_worker_registrations_total",
+		"Successful registrations with the coordinator (first join and rejoins).", w.registrations.Load())
+	ccounter(&b, "simd_cluster_worker_returns_abandoned_total",
+		"RowReturn calls abandoned after exhausting transport retries.", w.returnsAbandoned.Load())
+	ccounter(&b, "simd_cluster_worker_rows_abandoned_total",
+		"Rows carried by abandoned RowReturn calls (requeued by the coordinator at lease expiry).", w.rowsAbandoned.Load())
+	ccounter(&b, "simd_cluster_worker_cell_failures_total",
+		"Panics contained in assignment execution and reported as cell failures.", w.cellFailures.Load())
+	_, err := io.WriteString(out, b.String())
+	return err
 }
 
 // NewWorker builds a worker agent.
@@ -159,21 +186,26 @@ func (w *Worker) Run(ctx context.Context) error {
 	return nil
 }
 
-// register announces the worker, retrying with backoff until it succeeds
-// or ctx ends (the coordinator may simply not be up yet).
+// register announces the worker, retrying with full-jitter exponential
+// backoff until it succeeds or ctx ends (the coordinator may simply not be
+// up yet). Full jitter — sleep uniform in [0, backoff], double the cap —
+// matters at fleet scale: after a coordinator restart every worker's
+// heartbeat says Reregister at once, and a bare exponential would march
+// them all back into the register endpoint in synchronized waves.
 func (w *Worker) register(ctx context.Context) (protocol.RegisterResponse, error) {
 	backoff := 100 * time.Millisecond
 	for {
 		resp, err := w.opt.API.Register(ctx, protocol.RegisterRequest{WorkerID: w.opt.ID, Addr: w.opt.Addr})
 		if err == nil {
 			w.hbMS.Store(resp.HeartbeatMS)
+			w.registrations.Add(1)
 			return resp, nil
 		}
 		if ctx.Err() != nil {
 			return protocol.RegisterResponse{}, ctx.Err()
 		}
 		w.logf("cluster: worker %s: register failed, retrying: %v", w.opt.ID, err)
-		sleepCtx(ctx, backoff)
+		sleepCtx(ctx, time.Duration(rand.Int64N(int64(backoff)+1)))
 		if backoff *= 2; backoff > 2*time.Second {
 			backoff = 2 * time.Second
 		}
@@ -219,14 +251,30 @@ func (w *Worker) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
 // execute runs one assignment: resolve its cells into jobs, execute them
 // through the Service, stream rows back in chunks, and close out with the
 // assignment's cache delta. A Revoked ack cancels the rest of the
-// assignment — nothing else it produces will be accepted.
+// assignment — nothing else it produces will be accepted. Execution is
+// bounded by the assignment's propagated deadline (the response has already
+// settled past it, so finishing would be wasted cycles), and a panic
+// anywhere in the execution path is contained and reported as per-cell
+// failure rows — attributed to the cells, not allowed to crash the worker
+// and masquerade as a worker loss.
 func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// runCtx bounds execution at the dispatch's absolute deadline; ctx (the
+	// flush guard) deliberately does not carry it — the final Done return
+	// must still go out after the deadline so the coordinator can close the
+	// assignment out instead of waiting for our lease to lapse.
+	runCtx := ctx
+	if a.DeadlineMS > 0 {
+		var runCancel context.CancelFunc
+		runCtx, runCancel = context.WithDeadline(ctx, time.UnixMilli(a.DeadlineMS))
+		defer runCancel()
+	}
 	var (
-		mu      sync.Mutex
-		pending []protocol.Row
-		revoked bool
+		mu       sync.Mutex
+		pending  []protocol.Row
+		revoked  bool
+		produced = make(map[int]bool, len(a.Cells)) // global row indexes resolved so far
 	)
 	flush := func(done bool, cache *protocol.CacheDelta) {
 		if ctx.Err() != nil {
@@ -248,7 +296,16 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 			WorkerID: w.opt.ID, AssignmentID: a.ID,
 			Rows: rows, Done: done, Cache: cache,
 		}
-		for attempt := 0; ; attempt++ {
+		// Retry discipline: a Revoked ack is an answer — the coordinator
+		// took our assignment away, retrying would just be rejected again —
+		// so stop immediately; only transport errors are worth retrying, with
+		// jittered backoff, and the abandonment after the last attempt is
+		// counted and logged rather than silent: undelivered rows are not
+		// lost work (the coordinator requeues the cells when our lease
+		// lapses, or at drain), but an operator watching a flaky network
+		// needs to see it happening.
+		const maxReturnAttempts = 3
+		for attempt := 1; ; attempt++ {
 			ack, err := w.opt.API.ReturnRows(ctx, ret)
 			if err == nil {
 				if ack.Revoked {
@@ -259,15 +316,45 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 				}
 				return
 			}
-			if ctx.Err() != nil || attempt >= 2 {
-				// Undeliverable rows are not lost work: the coordinator will
-				// requeue the cells once our lease lapses (or we drain).
-				w.logf("cluster: worker %s: returning rows for %s failed: %v", w.opt.ID, a.ID, err)
+			if ctx.Err() != nil {
+				return // shutting down; drain handles the requeue
+			}
+			if attempt >= maxReturnAttempts {
+				w.returnsAbandoned.Add(1)
+				w.rowsAbandoned.Add(uint64(len(rows)))
+				w.logf("cluster: worker %s: abandoning %d row(s) for %s after %d attempts (coordinator will requeue at lease expiry): %v",
+					w.opt.ID, len(rows), a.ID, attempt, err)
 				return
 			}
-			sleepCtx(ctx, time.Duration(attempt+1)*50*time.Millisecond)
+			backoff := time.Duration(attempt) * 50 * time.Millisecond
+			sleepCtx(ctx, backoff/2+time.Duration(rand.Int64N(int64(backoff/2)+1)))
 		}
 	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Contained cell failure: report every unresolved cell as Failed
+		// so the coordinator charges the cells' budgets (and eventually
+		// quarantines a poison cell) instead of this worker dying and the
+		// loss being charged to nothing in particular.
+		w.cellFailures.Add(1)
+		w.logf("cluster: worker %s: assignment %s panicked: %v", w.opt.ID, a.ID, r)
+		mu.Lock()
+		for _, cell := range a.Cells {
+			if produced[cell.Index] {
+				continue
+			}
+			pending = append(pending, protocol.Row{
+				Index:  cell.Index,
+				Failed: true,
+				Error:  fmt.Sprintf("cell failed on worker %s: panic: %v", w.opt.ID, r),
+			})
+		}
+		mu.Unlock()
+		flush(true, nil)
+	}()
 
 	jobs, err := buildJobs(a)
 	if err != nil {
@@ -278,6 +365,7 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 		w.logf("cluster: worker %s: assignment %s unresolvable: %v", w.opt.ID, a.ID, err)
 		mu.Lock()
 		for _, cell := range a.Cells {
+			produced[cell.Index] = true
 			pending = append(pending, protocol.Row{Index: cell.Index, Error: err.Error()})
 		}
 		mu.Unlock()
@@ -291,10 +379,11 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 	// the dispatch's cluster-wide stats must never count a cell twice.
 	var cacheHits, cacheMisses atomic.Uint64
 	onProgress := func(p run.Progress) {
-		if ctx.Err() != nil {
-			// A cancelled run reports its aborted jobs as failed cells
-			// (context errors); none of that is real — the coordinator
-			// requeues every unreturned cell for a live worker.
+		if runCtx.Err() != nil {
+			// A cancelled or deadline-cut run reports its aborted jobs as
+			// failed cells (context errors); none of that is real — the
+			// coordinator requeues every unreturned cell for a live worker,
+			// or has already settled the response with deadline rows.
 			return
 		}
 		switch p.Cache {
@@ -312,6 +401,7 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 			row.Result.Device = p.Job.Device.Name
 		}
 		mu.Lock()
+		produced[row.Index] = true
 		pending = append(pending, row)
 		n := len(pending)
 		mu.Unlock()
@@ -320,10 +410,19 @@ func (w *Worker) execute(ctx context.Context, a *protocol.Assignment) {
 		}
 	}
 
-	resp, err := w.opt.Service.ExecuteJobs(ctx, jobs, onProgress)
+	resp, err := w.opt.Service.ExecuteJobs(runCtx, jobs, onProgress)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // shutdown or revocation: the coordinator requeues
+		}
+		if runCtx.Err() != nil {
+			// The dispatch deadline cut the run short: the response has
+			// already settled with deadline rows for whatever we did not
+			// finish. Close the assignment out empty so the coordinator
+			// drops it now rather than at lease expiry.
+			w.logf("cluster: worker %s: assignment %s abandoned at dispatch deadline", w.opt.ID, a.ID)
+			flush(true, nil)
+			return
 		}
 		// Worker-local refusal (admission, local drain): close the
 		// assignment out with whatever completed; the coordinator requeues

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"riscvmem/internal/cluster/protocol"
+	"riscvmem/internal/run"
+	"riscvmem/internal/service"
+)
+
+// stubAPI is a hand-rolled coordinator for worker-side unit tests: it
+// records every RowReturn and lets the test script the acks.
+type stubAPI struct {
+	mu      sync.Mutex
+	returns []protocol.RowReturn
+	calls   int
+	// ack scripts ReturnRows; nil accepts everything. call is 1-based.
+	ack func(call int, req protocol.RowReturn) (protocol.RowAck, error)
+}
+
+func (s *stubAPI) Register(ctx context.Context, req protocol.RegisterRequest) (protocol.RegisterResponse, error) {
+	return protocol.RegisterResponse{HeartbeatMS: 1000, LeaseMS: 3000}, nil
+}
+
+func (s *stubAPI) Heartbeat(ctx context.Context, req protocol.HeartbeatRequest) (protocol.HeartbeatResponse, error) {
+	return protocol.HeartbeatResponse{OK: true}, nil
+}
+
+func (s *stubAPI) Poll(ctx context.Context, req protocol.PollRequest) (protocol.PollResponse, error) {
+	return protocol.PollResponse{}, nil
+}
+
+func (s *stubAPI) ReturnRows(ctx context.Context, req protocol.RowReturn) (protocol.RowAck, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	s.returns = append(s.returns, req)
+	if s.ack != nil {
+		return s.ack(s.calls, req)
+	}
+	return protocol.RowAck{Accepted: len(req.Rows)}, nil
+}
+
+func (s *stubAPI) DrainWorker(ctx context.Context, req protocol.DrainRequest) (protocol.DrainResponse, error) {
+	return protocol.DrainResponse{}, nil
+}
+
+func (s *stubAPI) snapshot() (int, []protocol.RowReturn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls, append([]protocol.RowReturn(nil), s.returns...)
+}
+
+// TestWorkerPanicContainment pins the tentpole's worker half: a panic
+// anywhere in the execution path (here: a nil Service, standing in for any
+// executor bug the runner's own recovery cannot reach) must not escape
+// execute. It is contained and reported as per-cell failure rows — Failed
+// set, the panic in the error, every unresolved cell covered — so the
+// coordinator charges the cells' budgets instead of losing a worker.
+func TestWorkerPanicContainment(t *testing.T) {
+	stub := &stubAPI{}
+	spec := run.MustParseWorkloadSpec("stream:test=COPY,elems=64,reps=1")
+	w := &Worker{opt: WorkerOptions{ID: "frail", API: stub, FlushRows: 16, Logf: t.Logf}}
+	a := &protocol.Assignment{ID: "a1", Kind: "batch", Cells: []protocol.Cell{
+		{Index: 3, Device: "MangoPi", Workload: &spec},
+		{Index: 7, Device: "MangoPi", Workload: &spec},
+	}}
+
+	w.execute(context.Background(), a) // must return, not panic the test
+
+	calls, returns := stub.snapshot()
+	if calls != 1 {
+		t.Fatalf("ReturnRows called %d times, want 1 (single contained close-out)", calls)
+	}
+	ret := returns[0]
+	if !ret.Done {
+		t.Error("contained close-out not marked Done")
+	}
+	if len(ret.Rows) != 2 {
+		t.Fatalf("close-out carries %d rows, want one per cell (2)", len(ret.Rows))
+	}
+	gotIdx := map[int]bool{}
+	for _, row := range ret.Rows {
+		gotIdx[row.Index] = true
+		if !row.Failed {
+			t.Errorf("row %d not marked Failed: %+v", row.Index, row)
+		}
+		if !strings.Contains(row.Error, "panic") || !strings.Contains(row.Error, "frail") {
+			t.Errorf("row %d error %q: want the panic attributed to the worker", row.Index, row.Error)
+		}
+	}
+	if !gotIdx[3] || !gotIdx[7] {
+		t.Errorf("failure rows cover indexes %v, want the assignment's global indexes 3 and 7", gotIdx)
+	}
+	if w.cellFailures.Load() != 1 {
+		t.Errorf("cellFailures = %d, want 1", w.cellFailures.Load())
+	}
+}
+
+// executeAssignment runs one real single-cell assignment through a worker
+// wired to the stub, returning the worker for counter assertions.
+func executeAssignment(t *testing.T, stub *stubAPI) *Worker {
+	t.Helper()
+	spec := run.MustParseWorkloadSpec("stream:test=COPY,elems=64,reps=1")
+	w, err := NewWorker(WorkerOptions{
+		ID: "retrier", Service: service.New(service.Options{}), API: stub,
+		FlushRows: 16, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	w.execute(context.Background(), &protocol.Assignment{
+		ID: "a1", Kind: "batch",
+		Cells: []protocol.Cell{{Index: 0, Device: "MangoPi", Workload: &spec}},
+	})
+	return w
+}
+
+// TestWorkerReturnRetryThenAbandon pins satellite behavior on the flush
+// retry loop: transport errors are retried (3 attempts), and giving up is
+// not silent — it is counted in the worker's metrics.
+func TestWorkerReturnRetryThenAbandon(t *testing.T) {
+	stub := &stubAPI{ack: func(call int, req protocol.RowReturn) (protocol.RowAck, error) {
+		return protocol.RowAck{}, errors.New("injected: transport down")
+	}}
+	start := time.Now()
+	w := executeAssignment(t, stub)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("abandonment took %s; retries must be bounded", elapsed)
+	}
+	calls, _ := stub.snapshot()
+	if calls != 3 {
+		t.Errorf("ReturnRows called %d times, want exactly 3 attempts before abandoning", calls)
+	}
+	if w.returnsAbandoned.Load() != 1 {
+		t.Errorf("returnsAbandoned = %d, want 1", w.returnsAbandoned.Load())
+	}
+	if w.rowsAbandoned.Load() != 1 {
+		t.Errorf("rowsAbandoned = %d, want 1", w.rowsAbandoned.Load())
+	}
+}
+
+// TestWorkerReturnTransientErrorRecovers pins the complement: a transport
+// error that clears before the attempts run out delivers the rows and
+// abandons nothing.
+func TestWorkerReturnTransientErrorRecovers(t *testing.T) {
+	stub := &stubAPI{ack: func(call int, req protocol.RowReturn) (protocol.RowAck, error) {
+		if call <= 2 {
+			return protocol.RowAck{}, errors.New("injected: transient transport error")
+		}
+		return protocol.RowAck{Accepted: len(req.Rows)}, nil
+	}}
+	w := executeAssignment(t, stub)
+	calls, returns := stub.snapshot()
+	if calls != 3 {
+		t.Errorf("ReturnRows called %d times, want 3 (two failures + success)", calls)
+	}
+	if w.returnsAbandoned.Load() != 0 {
+		t.Errorf("returnsAbandoned = %d, want 0 after recovery", w.returnsAbandoned.Load())
+	}
+	last := returns[len(returns)-1]
+	if !last.Done || len(last.Rows) != 1 || last.Rows[0].Error != "" {
+		t.Errorf("delivered return %+v, want one clean Done row", last)
+	}
+}
+
+// TestWorkerReturnRevokedStopsImmediately pins the Revoked half: a revoked
+// ack is an answer, not a failure — the worker must stop at once (no
+// retries of a rejected return, no further returns for the assignment).
+func TestWorkerReturnRevokedStopsImmediately(t *testing.T) {
+	stub := &stubAPI{ack: func(call int, req protocol.RowReturn) (protocol.RowAck, error) {
+		return protocol.RowAck{Revoked: true}, nil
+	}}
+	spec := run.MustParseWorkloadSpec("stream:test=COPY,elems=64,reps=1")
+	spec2 := run.MustParseWorkloadSpec("stream:test=SCALE,elems=64,reps=1")
+	w, err := NewWorker(WorkerOptions{
+		ID: "revoked", Service: service.New(service.Options{}), API: stub,
+		FlushRows: 1, Logf: t.Logf, // flush per row: the first row trips the revocation
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	w.execute(context.Background(), &protocol.Assignment{
+		ID: "a1", Kind: "batch",
+		Cells: []protocol.Cell{
+			{Index: 0, Device: "MangoPi", Workload: &spec},
+			{Index: 1, Device: "MangoPi", Workload: &spec2},
+		},
+	})
+	calls, _ := stub.snapshot()
+	if calls != 1 {
+		t.Errorf("ReturnRows called %d times after a Revoked ack, want exactly 1", calls)
+	}
+	if w.returnsAbandoned.Load() != 0 {
+		t.Errorf("returnsAbandoned = %d, want 0 (revocation is not abandonment)", w.returnsAbandoned.Load())
+	}
+}

@@ -63,4 +63,19 @@ const (
 	// queue placement. Guards: requeue is never lossy — pooled cells are
 	// still delivered by the next poll.
 	ClusterRequeue Point = "cluster.requeue"
+	// ClusterSend fires in cluster.FlakyTransport before a protocol request
+	// is delivered to the coordinator; a handler error drops the request on
+	// the floor — it never reaches the coordinator, the caller sees a
+	// transport failure. Guards: a lossy request channel delays work but
+	// never loses or duplicates rows (the worker's retry discipline plus
+	// the coordinator's per-index dedup), and a total poll blackhole still
+	// yields a deadline-bounded degraded response.
+	ClusterSend Point = "cluster.send"
+	// ClusterRecv fires in cluster.FlakyTransport after the coordinator
+	// produced a response; a handler error drops the response on the way
+	// back — the coordinator's side effects happened, the caller sees a
+	// transport failure. Guards: a lost ack makes the worker retransmit an
+	// already-delivered RowReturn, and the coordinator must keep row
+	// delivery exactly-once under that duplication.
+	ClusterRecv Point = "cluster.recv"
 )
